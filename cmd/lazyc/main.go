@@ -1,0 +1,114 @@
+// Command lazyc compiles and runs kernel-language programs (the paper's
+// Fig. 4 language) under either standard or extended lazy semantics, with
+// the Sec. 4 optimizations toggleable — the reproduction's equivalent of
+// the Sloth compiler driver.
+//
+//	lazyc -mode lazy -sc -tc -bd program.sloth
+//	lazyc -mode std program.sloth
+//	echo 'fn main() { print(1+2); }' | lazyc
+//
+// The database is an in-memory table `t (id INT, v INT, name TEXT)` with
+// five seeded rows, matching the examples in the repository.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/lazyc"
+	"repro/internal/netsim"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+)
+
+func main() {
+	mode := flag.String("mode", "lazy", "evaluation mode: std | lazy")
+	sc := flag.Bool("sc", true, "selective compilation")
+	tc := flag.Bool("tc", true, "thunk coalescing")
+	bd := flag.Bool("bd", true, "branch deferral")
+	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated round-trip latency")
+	stats := flag.Bool("stats", true, "print execution statistics")
+	flag.Parse()
+
+	if err := run(*mode, lazyc.Options{SC: *sc, TC: *tc, BD: *bd}, *rtt, *stats, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "lazyc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode string, opts lazyc.Options, rtt time.Duration, stats bool, args []string) error {
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("expected at most one program file")
+	}
+	if err != nil {
+		return err
+	}
+
+	prog, err := lazyc.ParseProgram(string(src))
+	if err != nil {
+		return err
+	}
+	lazyc.Simplify(prog)
+
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	if err := seed(db); err != nil {
+		return err
+	}
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	link := netsim.NewLink(clock, rtt)
+	conn := srv.Connect(link)
+
+	switch mode {
+	case "std":
+		in := lazyc.NewStd(prog, conn)
+		if err := in.Run(); err != nil {
+			return err
+		}
+		fmt.Print(in.Output())
+		if stats {
+			fmt.Fprintf(os.Stderr, "-- std: queries=%d round-trips=%d simulated-time=%v\n",
+				in.Stats().Queries, link.Stats().RoundTrips, clock.Now())
+		}
+	case "lazy":
+		store := querystore.New(conn, querystore.Config{})
+		in := lazyc.NewLazy(prog, store, opts, clock, lazyc.DefaultCostModel())
+		if err := in.Run(); err != nil {
+			return err
+		}
+		fmt.Print(in.Output())
+		if stats {
+			s := in.Stats()
+			fmt.Fprintf(os.Stderr, "-- lazy(%+v): queries=%d round-trips=%d max-batch=%d thunks=%d forces=%d simulated-time=%v\n",
+				opts, s.Queries, link.Stats().RoundTrips, store.Stats().MaxBatch,
+				s.ThunkAllocs, s.Forces, clock.Now())
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want std or lazy)", mode)
+	}
+	return nil
+}
+
+func seed(db *engine.DB) error {
+	s := db.NewSession()
+	for _, sql := range []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v INT, name TEXT)",
+		"INSERT INTO t (id, v, name) VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'c'), (4, 40, 'd'), (5, 50, 'e')",
+	} {
+		if _, err := s.Exec(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}

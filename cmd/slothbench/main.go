@@ -1,0 +1,186 @@
+// Command slothbench regenerates the paper's evaluation artifacts (Figs.
+// 5-13 and the appendix tables) from the reproduction. Run with -exp all
+// for the complete evaluation, or name a single experiment:
+//
+//	slothbench -exp fig6
+//	slothbench -exp fig9 -rtt 10ms
+//	slothbench -exp appendix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|all")
+	rtt := flag.Duration("rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
+	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
+	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
+	flag.Parse()
+
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps); err != nil {
+		fmt.Fprintln(os.Stderr, "slothbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, rtt time.Duration, txns, reps int) error {
+	var itEnv, omEnv *bench.Env
+	needEnv := func(id bench.AppID) (*bench.Env, error) {
+		switch id {
+		case bench.Itracker:
+			if itEnv == nil {
+				var err error
+				itEnv, err = bench.NewEnv(bench.Itracker, 1)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return itEnv, nil
+		default:
+			if omEnv == nil {
+				var err error
+				omEnv, err = bench.NewEnv(bench.OpenMRS, 1)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return omEnv, nil
+		}
+	}
+
+	suiteCDF := func(id bench.AppID) error {
+		env, err := needEnv(id)
+		if err != nil {
+			return err
+		}
+		comps, err := env.RunSuite(rtt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.BuildCDF(id, comps).Format())
+		return nil
+	}
+
+	experiments := map[string]func() error{
+		"fig5": func() error { return suiteCDF(bench.Itracker) },
+		"fig6": func() error { return suiteCDF(bench.OpenMRS) },
+		"fig7": func() error {
+			env, err := needEnv(bench.OpenMRS)
+			if err != nil {
+				return err
+			}
+			rep, err := bench.Throughput(env, []int{1, 2, 5, 10, 25, 50, 100, 200, 300, 400, 500, 600})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
+			return nil
+		},
+		"fig8": func() error {
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				env, err := needEnv(id)
+				if err != nil {
+					return err
+				}
+				comps, err := env.RunSuite(rtt)
+				if err != nil {
+					return err
+				}
+				fmt.Print(bench.TimeBreakdown(id, comps).Format())
+			}
+			return nil
+		},
+		"fig9": func() error {
+			rtts := []time.Duration{500 * time.Microsecond, time.Millisecond, 10 * time.Millisecond}
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				env, err := needEnv(id)
+				if err != nil {
+					return err
+				}
+				rep, err := bench.NetworkScaling(env, rtts)
+				if err != nil {
+					return err
+				}
+				fmt.Print(rep.Format())
+			}
+			return nil
+		},
+		"fig10": func() error {
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				rep, err := bench.DBScaling(id, []int{1, 2, 4, 8, 16})
+				if err != nil {
+					return err
+				}
+				fmt.Print(rep.Format())
+			}
+			return nil
+		},
+		"fig11": func() error {
+			fmt.Print(bench.PersistentMethods().Format())
+			return nil
+		},
+		"fig12": func() error {
+			rep, err := bench.OptimizationAblation(reps)
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
+			return nil
+		},
+		"fig13": func() error {
+			rep, err := bench.Overhead(txns)
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
+			return nil
+		},
+		"appendix": func() error {
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				env, err := needEnv(id)
+				if err != nil {
+					return err
+				}
+				comps, err := env.RunSuite(rtt)
+				if err != nil {
+					return err
+				}
+				fmt.Print(bench.AppendixTable(id, comps))
+			}
+			return nil
+		},
+		"ablation": func() error {
+			env, err := needEnv(bench.Itracker)
+			if err != nil {
+				return err
+			}
+			rep, err := bench.StoreAblation(env, []int{4, 16})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
+			return nil
+		},
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix", "ablation"} {
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := experiments[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return fn()
+}

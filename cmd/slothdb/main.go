@@ -1,0 +1,77 @@
+// Command slothdb is an interactive SQL shell over the reproduction's
+// in-memory database engine — handy for exploring the SQL subset the
+// benchmark applications rely on.
+//
+//	$ slothdb
+//	sloth> CREATE TABLE t (id INT PRIMARY KEY, v TEXT)
+//	sloth> INSERT INTO t (id, v) VALUES (1, 'hello')
+//	sloth> SELECT * FROM t
+//	id | v
+//	1 | "hello"
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sqldb/engine"
+)
+
+func main() {
+	db := engine.New()
+	sess := db.NewSession()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	interactive := isTerminalLike()
+	if interactive {
+		fmt.Println("sloth in-memory SQL shell — end statements with newline, \\q quits")
+	}
+	for {
+		if interactive {
+			fmt.Print("sloth> ")
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case line == `\t`:
+			for _, name := range db.Store().TableNames() {
+				fmt.Println(name)
+			}
+			continue
+		}
+		rs, err := sess.Exec(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		if len(rs.Cols) > 0 {
+			fmt.Print(rs.String())
+		}
+		if rs.RowsAffected > 0 {
+			fmt.Printf("%d row(s) affected\n", rs.RowsAffected)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "slothdb:", err)
+		os.Exit(1)
+	}
+}
+
+// isTerminalLike reports whether stdin looks interactive (best effort,
+// stdlib only).
+func isTerminalLike() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,60 @@
+// Patientportal loads the OpenMRS-style patient dashboard — the paper's
+// motivating example (Fig. 1) — under the original execution strategy and
+// under Sloth, and prints the round-trip and timing comparison.
+//
+//	go run ./examples/patientportal
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/openmrs"
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+	"repro/internal/webapp"
+)
+
+func main() {
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	if err := openmrs.Seed(db, openmrs.DefaultSize()); err != nil {
+		panic(err)
+	}
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	app := openmrs.Build(clock, webapp.DefaultCostProfile())
+
+	pages := []string{
+		"patientDashboardForm.jsp",
+		"encounters/encounterDisplay.jsp",
+		"admin/users/alertList.jsp",
+	}
+
+	fmt.Printf("%-40s %10s %10s %10s %10s %9s\n",
+		"page", "orig time", "trips", "sloth time", "trips", "max batch")
+	for _, page := range pages {
+		origTime, origTrips, _ := load(app, srv, clock, page, orm.ModeOriginal)
+		slothTime, slothTrips, batch := load(app, srv, clock, page, orm.ModeSloth)
+		fmt.Printf("%-40s %10v %10d %10v %10d %9d\n",
+			page, origTime.Round(time.Millisecond), origTrips,
+			slothTime.Round(time.Millisecond), slothTrips, batch)
+	}
+	fmt.Println("\nSloth registers the dashboard's queries (encounters, visits,")
+	fmt.Println("active visits, identifiers, programs) without executing them; the")
+	fmt.Println("first forced value ships them all in one batch — Sec. 2 of the paper.")
+}
+
+func load(app *openmrs.App, srv *driver.Server, clock *netsim.VirtualClock, page string, mode orm.Mode) (time.Duration, int64, int) {
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	store := querystore.New(conn, querystore.Config{})
+	sess := orm.NewSession(store, mode)
+	start := clock.Now()
+	if _, err := app.Load(page, webapp.Params{"patientId": openmrs.DashboardPatientID}, sess); err != nil {
+		panic(err)
+	}
+	return clock.Now() - start, link.Stats().RoundTrips, store.Stats().MaxBatch
+}

@@ -1,0 +1,49 @@
+// Quickstart: the core Sloth mechanism in thirty lines — register three
+// queries lazily, watch them execute in ONE round trip when the first
+// result is demanded.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// An in-process deployment: engine + server + 1ms simulated link.
+	tb := sloth.NewTestbed(time.Millisecond)
+	tb.MustExec("CREATE TABLE greetings (id INT PRIMARY KEY, lang TEXT, text TEXT)")
+	tb.MustExec(`INSERT INTO greetings (id, lang, text) VALUES
+		(1, 'en', 'hello'), (2, 'fr', 'bonjour'), (3, 'sw', 'jambo')`)
+
+	rt := tb.Runtime
+
+	// Three queries register with the query store; nothing executes yet.
+	en := rt.LazyQuery("SELECT text FROM greetings WHERE lang = ?", "en")
+	fr := rt.LazyQuery("SELECT text FROM greetings WHERE lang = ?", "fr")
+	sw := rt.LazyQuery("SELECT text FROM greetings WHERE lang = ?", "sw")
+	fmt.Printf("after registering 3 queries: %d round trips\n", tb.RoundTrips())
+
+	// Forcing ANY of them ships the whole batch in one round trip.
+	first := en.Force()
+	if first.Err != nil {
+		panic(first.Err)
+	}
+	fmt.Printf("after forcing the first:     %d round trip(s)\n", tb.RoundTrips())
+
+	// The siblings are already cached — no further trips.
+	fmt.Printf("greetings: %v, %v, %v\n",
+		first.RS.Rows[0][0], fr.Force().RS.Rows[0][0], sw.Force().RS.Rows[0][0])
+	fmt.Printf("total round trips:           %d (three queries, one trip)\n", tb.RoundTrips())
+
+	// Writes flush pending reads first, preserving order.
+	late := rt.LazyQuery("SELECT COUNT(*) AS n FROM greetings")
+	if _, err := rt.Exec("INSERT INTO greetings (id, lang, text) VALUES (4, 'pt', 'ola')"); err != nil {
+		panic(err)
+	}
+	n, _ := late.Force().RS.Int(0, "n")
+	fmt.Printf("count seen by pre-write read: %d (write flushed the batch after it)\n", n)
+}

@@ -1,0 +1,186 @@
+package itracker
+
+import "repro/internal/orm"
+
+type User struct {
+	ID        int64  `orm:"id,pk"`
+	Login     string `orm:"login"`
+	FirstName string `orm:"first_name"`
+	LastName  string `orm:"last_name"`
+	SuperUser bool   `orm:"super_user"`
+}
+
+type UserPreference struct {
+	ID           int64 `orm:"id,pk"`
+	UserID       int64 `orm:"user_id"`
+	ItemsPerPage int64 `orm:"items_per_page"`
+	ShowClosed   bool  `orm:"show_closed"`
+}
+
+type Permission struct {
+	ID             int64 `orm:"id,pk"`
+	UserID         int64 `orm:"user_id"`
+	ProjectID      int64 `orm:"project_id"`
+	PermissionType int64 `orm:"permission_type"`
+}
+
+type Project struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	Status  int64  `orm:"status"`
+	Options int64  `orm:"options"`
+}
+
+type Component struct {
+	ID          int64  `orm:"id,pk"`
+	ProjectID   int64  `orm:"project_id"`
+	Name        string `orm:"name"`
+	Description string `orm:"description"`
+}
+
+type Version struct {
+	ID            int64  `orm:"id,pk"`
+	ProjectID     int64  `orm:"project_id"`
+	VersionNumber string `orm:"version_number"`
+	Description   string `orm:"description"`
+}
+
+type Issue struct {
+	ID          int64  `orm:"id,pk"`
+	ProjectID   int64  `orm:"project_id"`
+	CreatorID   int64  `orm:"creator_id"`
+	OwnerID     int64  `orm:"owner_id"`
+	Status      int64  `orm:"status"`
+	Severity    int64  `orm:"severity"`
+	Description string `orm:"description"`
+}
+
+type IssueHistory struct {
+	ID      int64  `orm:"id,pk"`
+	IssueID int64  `orm:"issue_id"`
+	UserID  int64  `orm:"user_id"`
+	Action  string `orm:"action"`
+}
+
+type IssueActivity struct {
+	ID           int64  `orm:"id,pk"`
+	IssueID      int64  `orm:"issue_id"`
+	UserID       int64  `orm:"user_id"`
+	ActivityType int64  `orm:"activity_type"`
+	Description  string `orm:"description"`
+}
+
+type Attachment struct {
+	ID        int64  `orm:"id,pk"`
+	IssueID   int64  `orm:"issue_id"`
+	FileName  string `orm:"file_name"`
+	SizeBytes int64  `orm:"size_bytes"`
+}
+
+type CustomField struct {
+	ID        int64  `orm:"id,pk"`
+	FieldType int64  `orm:"field_type"`
+	LabelKey  string `orm:"label_key"`
+}
+
+type LanguageKey struct {
+	ID         int64  `orm:"id,pk"`
+	Locale     string `orm:"locale"`
+	MessageKey string `orm:"message_key"`
+	Value      string `orm:"value"`
+}
+
+type Configuration struct {
+	ID       int64  `orm:"id,pk"`
+	ItemType int64  `orm:"item_type"`
+	Name     string `orm:"name"`
+	Value    string `orm:"value"`
+}
+
+type Report struct {
+	ID         int64  `orm:"id,pk"`
+	Name       string `orm:"name"`
+	ReportType int64  `orm:"report_type"`
+}
+
+type ScheduledTask struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	LastRun int64  `orm:"last_run"`
+}
+
+type WorkflowScript struct {
+	ID    int64  `orm:"id,pk"`
+	Name  string `orm:"name"`
+	Event int64  `orm:"event"`
+}
+
+// Metas bundles itracker's entity mappings and associations.
+type Metas struct {
+	Users           *orm.Meta[User]
+	Preferences     *orm.Meta[UserPreference]
+	Permissions     *orm.Meta[Permission]
+	Projects        *orm.Meta[Project]
+	Components      *orm.Meta[Component]
+	Versions        *orm.Meta[Version]
+	Issues          *orm.Meta[Issue]
+	History         *orm.Meta[IssueHistory]
+	Activities      *orm.Meta[IssueActivity]
+	Attachments     *orm.Meta[Attachment]
+	CustomFields    *orm.Meta[CustomField]
+	LanguageKeys    *orm.Meta[LanguageKey]
+	Configurations  *orm.Meta[Configuration]
+	Reports         *orm.Meta[Report]
+	ScheduledTasks  *orm.Meta[ScheduledTask]
+	WorkflowScripts *orm.Meta[WorkflowScript]
+
+	PrefsOfUser    *orm.HasMany[User, UserPreference]
+	PermsOfUser    *orm.HasMany[User, Permission]
+	ComponentsOf   *orm.HasMany[Project, Component]
+	VersionsOf     *orm.HasMany[Project, Version]
+	IssuesOf       *orm.HasMany[Project, Issue]
+	HistoryOf      *orm.HasMany[Issue, IssueHistory]
+	ActivitiesOf   *orm.HasMany[Issue, IssueActivity]
+	AttachmentsOf  *orm.HasMany[Issue, Attachment]
+	ProjectOfIssue *orm.BelongsTo[Issue, Project]
+	OwnerOfIssue   *orm.BelongsTo[Issue, User]
+	CreatorOfIssue *orm.BelongsTo[Issue, User]
+	UserOfHistory  *orm.BelongsTo[IssueHistory, User]
+}
+
+// NewMetas builds the mappings with the original application's fetch
+// strategies: issues eagerly hydrate project + owner + creator (the
+// hydration waste), collections stay lazy.
+func NewMetas() *Metas {
+	m := &Metas{
+		Users:           orm.MustRegister[User]("users"),
+		Preferences:     orm.MustRegister[UserPreference]("user_preferences"),
+		Permissions:     orm.MustRegister[Permission]("permissions"),
+		Projects:        orm.MustRegister[Project]("projects"),
+		Components:      orm.MustRegister[Component]("components"),
+		Versions:        orm.MustRegister[Version]("versions"),
+		Issues:          orm.MustRegister[Issue]("issues"),
+		History:         orm.MustRegister[IssueHistory]("issue_history"),
+		Activities:      orm.MustRegister[IssueActivity]("issue_activities"),
+		Attachments:     orm.MustRegister[Attachment]("attachments"),
+		CustomFields:    orm.MustRegister[CustomField]("custom_fields"),
+		LanguageKeys:    orm.MustRegister[LanguageKey]("language_keys"),
+		Configurations:  orm.MustRegister[Configuration]("configurations"),
+		Reports:         orm.MustRegister[Report]("reports"),
+		ScheduledTasks:  orm.MustRegister[ScheduledTask]("scheduled_tasks"),
+		WorkflowScripts: orm.MustRegister[WorkflowScript]("workflow_scripts"),
+	}
+	m.PrefsOfUser = orm.NewHasMany(m.Users, m.Preferences, "user_id", orm.FetchEager)
+	m.PermsOfUser = orm.NewHasMany(m.Users, m.Permissions, "user_id", orm.FetchLazy)
+	m.ComponentsOf = orm.NewHasMany(m.Projects, m.Components, "project_id", orm.FetchEager)
+	m.VersionsOf = orm.NewHasMany(m.Projects, m.Versions, "project_id", orm.FetchEager)
+	m.IssuesOf = orm.NewHasMany(m.Projects, m.Issues, "project_id", orm.FetchLazy)
+	m.HistoryOf = orm.NewHasMany(m.Issues, m.History, "issue_id", orm.FetchLazy)
+	m.ActivitiesOf = orm.NewHasMany(m.Issues, m.Activities, "issue_id", orm.FetchLazy)
+	m.AttachmentsOf = orm.NewHasMany(m.Issues, m.Attachments, "issue_id", orm.FetchLazy)
+	m.ProjectOfIssue = orm.NewBelongsTo(m.Issues, m.Projects, func(i *Issue) int64 { return i.ProjectID }, orm.FetchEager)
+	m.OwnerOfIssue = orm.NewBelongsTo(m.Issues, m.Users, func(i *Issue) int64 { return i.OwnerID }, orm.FetchEager)
+	m.CreatorOfIssue = orm.NewBelongsTo(m.Issues, m.Users, func(i *Issue) int64 { return i.CreatorID }, orm.FetchLazy)
+	m.UserOfHistory = orm.NewBelongsTo(m.History, m.Users, func(h *IssueHistory) int64 { return h.UserID }, orm.FetchLazy)
+	return m
+}

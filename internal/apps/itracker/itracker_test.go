@@ -1,0 +1,146 @@
+package itracker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+	"repro/internal/webapp"
+)
+
+func rigApp(t *testing.T) (*App, *driver.Server, *netsim.VirtualClock) {
+	t.Helper()
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	if err := Seed(db, DefaultSize()); err != nil {
+		t.Fatal(err)
+	}
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	return Build(clock, webapp.DefaultCostProfile()), srv, clock
+}
+
+func loadPage(t *testing.T, app *App, srv *driver.Server, clock *netsim.VirtualClock, page string, mode orm.Mode) (int64, int64) {
+	t.Helper()
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	sess := orm.NewSession(querystore.New(conn, querystore.Config{}), mode)
+	if _, err := app.Load(page, webapp.Params{}, sess); err != nil {
+		t.Fatalf("page %s (%v mode): %v", page, mode, err)
+	}
+	return link.Stats().RoundTrips, conn.QueriesSent()
+}
+
+func TestBuildRegisters38Pages(t *testing.T) {
+	app := Build(netsim.NewVirtualClock(), webapp.DefaultCostProfile())
+	if got := len(app.Pages()); got != 38 {
+		t.Fatalf("pages = %d, want 38", got)
+	}
+}
+
+func TestSeedPopulatesTables(t *testing.T) {
+	db := engine.New()
+	if err := Seed(db, DefaultSize()); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	for table, min := range map[string]int64{
+		"projects": 10, "users": 20, "issues": 150, "language_keys": 120,
+		"configurations": 40, "components": 40, "versions": 30, "permissions": 20,
+	} {
+		rs, err := s.Exec("SELECT COUNT(*) AS n FROM " + table)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if n, _ := rs.Int(0, "n"); n < min {
+			t.Errorf("%s has %d rows, want >= %d", table, n, min)
+		}
+	}
+}
+
+func TestAllPagesLoadInBothModes(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	for _, page := range app.Pages() {
+		tripsO, _ := loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		tripsS, _ := loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		if tripsS > tripsO {
+			t.Errorf("page %s: sloth trips %d > original %d", page, tripsS, tripsO)
+		}
+		if tripsO < 20 {
+			t.Errorf("page %s: original trips = %d, want a heavy preamble (>= 20)", page, tripsO)
+		}
+	}
+}
+
+func TestRoundTripRatiosInPaperBand(t *testing.T) {
+	// Fig. 5(b): itracker round-trip ratios roughly 1.5–4.
+	app, srv, clock := rigApp(t)
+	var ratios []float64
+	for _, page := range app.Pages() {
+		tripsO, _ := loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		tripsS, _ := loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		ratios = append(ratios, float64(tripsO)/float64(tripsS))
+	}
+	var sum float64
+	below := 0
+	for _, r := range ratios {
+		sum += r
+		if r < 1.3 {
+			below++
+		}
+	}
+	mean := sum / float64(len(ratios))
+	if mean < 1.5 || mean > 15 {
+		t.Fatalf("mean trip ratio %.2f outside plausible band", mean)
+	}
+	if below > len(ratios)/4 {
+		t.Fatalf("%d/%d pages improved less than 1.3x", below, len(ratios))
+	}
+}
+
+func TestListProjectsBatchesPerProjectQueries(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	store := querystore.New(conn, querystore.Config{})
+	sess := orm.NewSession(store, orm.ModeSloth)
+	if _, err := app.Load("module-projects/list projects.jsp", webapp.Params{}, sess); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().MaxBatch < 10 {
+		t.Errorf("max batch = %d, want >= 10 (labels + per-project lists)", store.Stats().MaxBatch)
+	}
+}
+
+func TestEagerHydrationWasteOnIssuePages(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	_, queriesO := loadPage(t, app, srv, clock, "module-projects/list issues.jsp", orm.ModeOriginal)
+	_, queriesS := loadPage(t, app, srv, clock, "module-projects/list issues.jsp", orm.ModeSloth)
+	// Each listed issue eagerly hydrates project+owner in original mode.
+	if queriesO < queriesS+10 {
+		t.Errorf("original queries %d vs sloth %d: hydration waste too small", queriesO, queriesS)
+	}
+}
+
+func TestSlothFasterOverall(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	var timeO, timeS time.Duration
+	for _, page := range app.Pages() {
+		start := clock.Now()
+		loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		timeO += clock.Now() - start
+		start = clock.Now()
+		loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		timeS += clock.Now() - start
+	}
+	if timeS >= timeO {
+		t.Fatalf("sloth total %v >= original %v", timeS, timeO)
+	}
+	speedup := float64(timeO) / float64(timeS)
+	if speedup < 1.1 || speedup > 5 {
+		t.Fatalf("aggregate speedup %.2f outside plausible band at 0.5ms RTT", speedup)
+	}
+}

@@ -1,0 +1,222 @@
+// Package itracker reproduces the structure of the itracker issue-management
+// system, the smaller of the paper's two evaluation applications (38 page
+// benchmarks, Sec. 6). Its signature query patterns differ from OpenMRS:
+// a Struts-style preamble that resolves configuration entries and
+// database-backed i18n language keys one lookup at a time, per-project
+// permission checks that force in sequence, and issue pages that walk
+// issue → components/versions/history chains.
+package itracker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/engine"
+)
+
+// Schema is the DDL for the reproduction's itracker database.
+var Schema = []string{
+	`CREATE TABLE users (id INT PRIMARY KEY, login TEXT, first_name TEXT, last_name TEXT, super_user BOOL)`,
+	`CREATE TABLE user_preferences (id INT PRIMARY KEY, user_id INT, items_per_page INT, show_closed BOOL)`,
+	`CREATE INDEX idx_pref_user ON user_preferences (user_id)`,
+	`CREATE TABLE permissions (id INT PRIMARY KEY, user_id INT, project_id INT, permission_type INT)`,
+	`CREATE INDEX idx_perm_user ON permissions (user_id)`,
+	`CREATE TABLE projects (id INT PRIMARY KEY, name TEXT, status INT, options INT)`,
+	`CREATE TABLE components (id INT PRIMARY KEY, project_id INT, name TEXT, description TEXT)`,
+	`CREATE INDEX idx_comp_project ON components (project_id)`,
+	`CREATE TABLE versions (id INT PRIMARY KEY, project_id INT, version_number TEXT, description TEXT)`,
+	`CREATE INDEX idx_ver_project ON versions (project_id)`,
+	`CREATE TABLE issues (id INT PRIMARY KEY, project_id INT, creator_id INT, owner_id INT, status INT, severity INT, description TEXT)`,
+	`CREATE INDEX idx_issue_project ON issues (project_id)`,
+	`CREATE INDEX idx_issue_owner ON issues (owner_id)`,
+	`CREATE TABLE issue_history (id INT PRIMARY KEY, issue_id INT, user_id INT, action TEXT)`,
+	`CREATE INDEX idx_hist_issue ON issue_history (issue_id)`,
+	`CREATE TABLE issue_activities (id INT PRIMARY KEY, issue_id INT, user_id INT, activity_type INT, description TEXT)`,
+	`CREATE INDEX idx_act_issue ON issue_activities (issue_id)`,
+	`CREATE TABLE attachments (id INT PRIMARY KEY, issue_id INT, file_name TEXT, size_bytes INT)`,
+	`CREATE INDEX idx_att_issue ON attachments (issue_id)`,
+	`CREATE TABLE custom_fields (id INT PRIMARY KEY, field_type INT, label_key TEXT)`,
+	`CREATE TABLE language_keys (id INT PRIMARY KEY, locale TEXT, message_key TEXT, value TEXT)`,
+	`CREATE INDEX idx_lang_key ON language_keys (message_key)`,
+	`CREATE TABLE configurations (id INT PRIMARY KEY, item_type INT, name TEXT, value TEXT)`,
+	`CREATE INDEX idx_conf_name ON configurations (name)`,
+	`CREATE TABLE reports (id INT PRIMARY KEY, name TEXT, report_type INT)`,
+	`CREATE TABLE scheduled_tasks (id INT PRIMARY KEY, name TEXT, last_run INT)`,
+	`CREATE TABLE workflow_scripts (id INT PRIMARY KEY, name TEXT, event INT)`,
+}
+
+// SizeConfig controls data generation; the paper's artificial database has
+// 10 projects, 20 users, and 50 issues per project.
+type SizeConfig struct {
+	Projects      int
+	Users         int
+	IssuesPer     int // issues per project
+	ComponentsPer int
+	VersionsPer   int
+	HistoryPer    int // history entries per issue
+	LanguageKeys  int
+	Configs       int
+	Reports       int
+	Tasks         int
+	Scripts       int
+	CustomFields  int
+}
+
+// DefaultSize mirrors the paper's itracker database (Sec. 6.1) at reduced
+// issue counts to keep the suite fast.
+func DefaultSize() SizeConfig {
+	return SizeConfig{
+		Projects:      10,
+		Users:         20,
+		IssuesPer:     15,
+		ComponentsPer: 4,
+		VersionsPer:   3,
+		HistoryPer:    3,
+		LanguageKeys:  120,
+		Configs:       40,
+		Reports:       8,
+		Tasks:         6,
+		Scripts:       6,
+		CustomFields:  10,
+	}
+}
+
+// AdminUserID is the logged-in user for benchmark requests.
+const AdminUserID = 1
+
+// MainProjectID is the project benchmark pages operate on.
+const MainProjectID = 1
+
+// MainIssueID is the issue used by issue-detail benchmarks.
+const MainIssueID = 1
+
+// Seed creates the schema and loads deterministic synthetic data directly
+// through the engine (no network accounting).
+func Seed(db *engine.DB, size SizeConfig) error {
+	s := db.NewSession()
+	for _, ddl := range Schema {
+		if _, err := s.Exec(ddl); err != nil {
+			return fmt.Errorf("itracker: schema: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	exec := func(sql string, args ...any) error {
+		vals := make([]sqldb.Value, len(args))
+		for i, a := range args {
+			vals[i] = a
+		}
+		if _, err := s.Exec(sql, vals...); err != nil {
+			return fmt.Errorf("itracker: seed: %w", err)
+		}
+		return nil
+	}
+
+	for u := 1; u <= size.Users; u++ {
+		if err := exec("INSERT INTO users (id, login, first_name, last_name, super_user) VALUES (?, ?, ?, ?, ?)",
+			int64(u), fmt.Sprintf("user%d", u), fmt.Sprintf("First%d", u), fmt.Sprintf("Last%d", u), u == AdminUserID); err != nil {
+			return err
+		}
+		if err := exec("INSERT INTO user_preferences (id, user_id, items_per_page, show_closed) VALUES (?, ?, 25, FALSE)",
+			int64(u), int64(u)); err != nil {
+			return err
+		}
+	}
+
+	permID := int64(0)
+	for p := 1; p <= size.Projects; p++ {
+		if err := exec("INSERT INTO projects (id, name, status, options) VALUES (?, ?, 1, 0)",
+			int64(p), fmt.Sprintf("project-%d", p)); err != nil {
+			return err
+		}
+		for c := 1; c <= size.ComponentsPer; c++ {
+			if err := exec("INSERT INTO components (id, project_id, name, description) VALUES (?, ?, ?, 'component')",
+				int64(p*100+c), int64(p), fmt.Sprintf("comp-%d-%d", p, c)); err != nil {
+				return err
+			}
+		}
+		for v := 1; v <= size.VersionsPer; v++ {
+			if err := exec("INSERT INTO versions (id, project_id, version_number, description) VALUES (?, ?, ?, 'version')",
+				int64(p*100+v), int64(p), fmt.Sprintf("%d.%d", p, v)); err != nil {
+				return err
+			}
+		}
+		// Admin has full permissions on every project; others get a few.
+		for _, uid := range []int64{AdminUserID, int64(2 + rng.Intn(size.Users-1))} {
+			permID++
+			if err := exec("INSERT INTO permissions (id, user_id, project_id, permission_type) VALUES (?, ?, ?, ?)",
+				permID, uid, int64(p), int64(1+rng.Intn(5))); err != nil {
+				return err
+			}
+		}
+	}
+
+	issueID, histID, actID, attID := int64(0), int64(0), int64(0), int64(0)
+	for p := 1; p <= size.Projects; p++ {
+		for i := 0; i < size.IssuesPer; i++ {
+			issueID++
+			if err := exec("INSERT INTO issues (id, project_id, creator_id, owner_id, status, severity, description) VALUES (?, ?, ?, ?, ?, ?, ?)",
+				issueID, int64(p), int64(1+rng.Intn(size.Users)), int64(1+rng.Intn(size.Users)),
+				int64(1+rng.Intn(5)), int64(1+rng.Intn(4)), fmt.Sprintf("issue-%d", issueID)); err != nil {
+				return err
+			}
+			for h := 0; h < size.HistoryPer; h++ {
+				histID++
+				if err := exec("INSERT INTO issue_history (id, issue_id, user_id, action) VALUES (?, ?, ?, 'update')",
+					histID, issueID, int64(1+rng.Intn(size.Users))); err != nil {
+					return err
+				}
+				actID++
+				if err := exec("INSERT INTO issue_activities (id, issue_id, user_id, activity_type, description) VALUES (?, ?, ?, ?, 'activity')",
+					actID, issueID, int64(1+rng.Intn(size.Users)), int64(1+rng.Intn(6))); err != nil {
+					return err
+				}
+			}
+			if rng.Intn(4) == 0 {
+				attID++
+				if err := exec("INSERT INTO attachments (id, issue_id, file_name, size_bytes) VALUES (?, ?, ?, ?)",
+					attID, issueID, fmt.Sprintf("file-%d.txt", attID), int64(rng.Intn(100000))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for k := 1; k <= size.LanguageKeys; k++ {
+		if err := exec("INSERT INTO language_keys (id, locale, message_key, value) VALUES (?, 'en', ?, ?)",
+			int64(k), fmt.Sprintf("itracker.web.%d", k), fmt.Sprintf("Label %d", k)); err != nil {
+			return err
+		}
+	}
+	for cfg := 1; cfg <= size.Configs; cfg++ {
+		if err := exec("INSERT INTO configurations (id, item_type, name, value) VALUES (?, ?, ?, ?)",
+			int64(cfg), int64(cfg%4), fmt.Sprintf("config.%d", cfg), fmt.Sprintf("value-%d", cfg)); err != nil {
+			return err
+		}
+	}
+	for r := 1; r <= size.Reports; r++ {
+		if err := exec("INSERT INTO reports (id, name, report_type) VALUES (?, ?, ?)",
+			int64(r), fmt.Sprintf("report-%d", r), int64(r%3)); err != nil {
+			return err
+		}
+	}
+	for tsk := 1; tsk <= size.Tasks; tsk++ {
+		if err := exec("INSERT INTO scheduled_tasks (id, name, last_run) VALUES (?, ?, 0)",
+			int64(tsk), fmt.Sprintf("task-%d", tsk)); err != nil {
+			return err
+		}
+	}
+	for w := 1; w <= size.Scripts; w++ {
+		if err := exec("INSERT INTO workflow_scripts (id, name, event) VALUES (?, ?, ?)",
+			int64(w), fmt.Sprintf("script-%d", w), int64(w%3)); err != nil {
+			return err
+		}
+	}
+	for f := 1; f <= size.CustomFields; f++ {
+		if err := exec("INSERT INTO custom_fields (id, field_type, label_key) VALUES (?, ?, ?)",
+			int64(f), int64(f%3), fmt.Sprintf("itracker.web.%d", f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package openmrs
+
+import "repro/internal/orm"
+
+// Entity structs mirror the schema. Tags bind fields to columns; `pk` marks
+// the primary key.
+
+type User struct {
+	ID       int64  `orm:"id,pk"`
+	Username string `orm:"username"`
+	PersonID int64  `orm:"person_id"`
+	Retired  bool   `orm:"retired"`
+}
+
+type Person struct {
+	ID        int64  `orm:"id,pk"`
+	Gender    string `orm:"gender"`
+	BirthYear int64  `orm:"birth_year"`
+	Dead      bool   `orm:"dead"`
+}
+
+type PersonName struct {
+	ID         int64  `orm:"id,pk"`
+	PersonID   int64  `orm:"person_id"`
+	GivenName  string `orm:"given_name"`
+	FamilyName string `orm:"family_name"`
+	Preferred  bool   `orm:"preferred"`
+}
+
+type PersonAttribute struct {
+	ID       int64  `orm:"id,pk"`
+	PersonID int64  `orm:"person_id"`
+	AttrType string `orm:"attr_type"`
+	Value    string `orm:"value"`
+}
+
+type PersonAddress struct {
+	ID       int64  `orm:"id,pk"`
+	PersonID int64  `orm:"person_id"`
+	City     string `orm:"city"`
+	Country  string `orm:"country"`
+}
+
+type Role struct {
+	ID   int64  `orm:"id,pk"`
+	Name string `orm:"name"`
+}
+
+type UserRole struct {
+	ID     int64 `orm:"id,pk"`
+	UserID int64 `orm:"user_id"`
+	RoleID int64 `orm:"role_id"`
+}
+
+type RolePrivilege struct {
+	ID        int64  `orm:"id,pk"`
+	RoleID    int64  `orm:"role_id"`
+	Privilege string `orm:"privilege"`
+}
+
+type GlobalProperty struct {
+	ID    int64  `orm:"id,pk"`
+	Name  string `orm:"name"`
+	Value string `orm:"value"`
+}
+
+type Patient struct {
+	ID       int64 `orm:"id,pk"`
+	PersonID int64 `orm:"person_id"`
+	Creator  int64 `orm:"creator"`
+}
+
+type PatientIdentifier struct {
+	ID         int64  `orm:"id,pk"`
+	PatientID  int64  `orm:"patient_id"`
+	Identifier string `orm:"identifier"`
+	IDType     string `orm:"id_type"`
+}
+
+type Encounter struct {
+	ID            int64 `orm:"id,pk"`
+	PatientID     int64 `orm:"patient_id"`
+	EncounterType int64 `orm:"encounter_type"`
+	VisitID       int64 `orm:"visit_id"`
+	FormID        int64 `orm:"form_id"`
+	ProviderID    int64 `orm:"provider_id"`
+	DateIdx       int64 `orm:"date_idx"`
+}
+
+type Obs struct {
+	ID          int64   `orm:"id,pk"`
+	EncounterID int64   `orm:"encounter_id"`
+	PatientID   int64   `orm:"patient_id"`
+	ConceptID   int64   `orm:"concept_id"`
+	ValueNum    float64 `orm:"value_num"`
+	ValueText   string  `orm:"value_text"`
+	TopLevel    bool    `orm:"top_level"`
+}
+
+type Concept struct {
+	ID       int64  `orm:"id,pk"`
+	Datatype string `orm:"datatype"`
+	Class    string `orm:"class"`
+	Retired  bool   `orm:"retired"`
+}
+
+type ConceptName struct {
+	ID        int64  `orm:"id,pk"`
+	ConceptID int64  `orm:"concept_id"`
+	Name      string `orm:"name"`
+	Locale    string `orm:"locale"`
+}
+
+type Visit struct {
+	ID          int64 `orm:"id,pk"`
+	PatientID   int64 `orm:"patient_id"`
+	VisitTypeID int64 `orm:"visit_type_id"`
+	Active      bool  `orm:"active"`
+}
+
+type VisitType struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	Retired bool   `orm:"retired"`
+}
+
+type Location struct {
+	ID       int64  `orm:"id,pk"`
+	Name     string `orm:"name"`
+	ParentID int64  `orm:"parent_id"`
+}
+
+type Form struct {
+	ID            int64  `orm:"id,pk"`
+	Name          string `orm:"name"`
+	EncounterType int64  `orm:"encounter_type"`
+	Retired       bool   `orm:"retired"`
+}
+
+type Field struct {
+	ID        int64  `orm:"id,pk"`
+	Name      string `orm:"name"`
+	ConceptID int64  `orm:"concept_id"`
+}
+
+type FormField struct {
+	ID      int64 `orm:"id,pk"`
+	FormID  int64 `orm:"form_id"`
+	FieldID int64 `orm:"field_id"`
+}
+
+type Provider struct {
+	ID       int64  `orm:"id,pk"`
+	PersonID int64  `orm:"person_id"`
+	Name     string `orm:"name"`
+	Retired  bool   `orm:"retired"`
+}
+
+type Drug struct {
+	ID        int64  `orm:"id,pk"`
+	ConceptID int64  `orm:"concept_id"`
+	Name      string `orm:"name"`
+	Retired   bool   `orm:"retired"`
+}
+
+type Order struct {
+	ID        int64 `orm:"id,pk"`
+	PatientID int64 `orm:"patient_id"`
+	ConceptID int64 `orm:"concept_id"`
+	DrugID    int64 `orm:"drug_id"`
+	Active    bool  `orm:"active"`
+}
+
+type Program struct {
+	ID        int64  `orm:"id,pk"`
+	ConceptID int64  `orm:"concept_id"`
+	Name      string `orm:"name"`
+}
+
+type PatientProgram struct {
+	ID        int64 `orm:"id,pk"`
+	PatientID int64 `orm:"patient_id"`
+	ProgramID int64 `orm:"program_id"`
+	Active    bool  `orm:"active"`
+}
+
+type Alert struct {
+	ID        int64  `orm:"id,pk"`
+	UserID    int64  `orm:"user_id"`
+	Text      string `orm:"text"`
+	Satisfied bool   `orm:"satisfied"`
+}
+
+type EncounterType struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	Retired bool   `orm:"retired"`
+}
+
+type Module struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	Started bool   `orm:"started"`
+}
+
+type SchedulerTask struct {
+	ID      int64  `orm:"id,pk"`
+	Name    string `orm:"name"`
+	Started bool   `orm:"started"`
+}
+
+type HL7InQueue struct {
+	ID       int64 `orm:"id,pk"`
+	SourceID int64 `orm:"source_id"`
+	State    int64 `orm:"state"`
+}
+
+type RelationshipType struct {
+	ID     int64  `orm:"id,pk"`
+	AIsToB string `orm:"a_is_to_b"`
+	BIsToA string `orm:"b_is_to_a"`
+}
+
+// Metas holds the entity mappings and associations. Built once per App so
+// tests with different databases don't share eager-loader state.
+type Metas struct {
+	Users             *orm.Meta[User]
+	Persons           *orm.Meta[Person]
+	PersonNames       *orm.Meta[PersonName]
+	PersonAttributes  *orm.Meta[PersonAttribute]
+	PersonAddresses   *orm.Meta[PersonAddress]
+	Roles             *orm.Meta[Role]
+	UserRoles         *orm.Meta[UserRole]
+	RolePrivileges    *orm.Meta[RolePrivilege]
+	GlobalProperties  *orm.Meta[GlobalProperty]
+	Patients          *orm.Meta[Patient]
+	Identifiers       *orm.Meta[PatientIdentifier]
+	Encounters        *orm.Meta[Encounter]
+	Observations      *orm.Meta[Obs]
+	Concepts          *orm.Meta[Concept]
+	ConceptNames      *orm.Meta[ConceptName]
+	Visits            *orm.Meta[Visit]
+	VisitTypes        *orm.Meta[VisitType]
+	Locations         *orm.Meta[Location]
+	Forms             *orm.Meta[Form]
+	Fields            *orm.Meta[Field]
+	FormFields        *orm.Meta[FormField]
+	Providers         *orm.Meta[Provider]
+	Drugs             *orm.Meta[Drug]
+	Orders            *orm.Meta[Order]
+	Programs          *orm.Meta[Program]
+	PatientPrograms   *orm.Meta[PatientProgram]
+	Alerts            *orm.Meta[Alert]
+	EncounterTypes    *orm.Meta[EncounterType]
+	Modules           *orm.Meta[Module]
+	SchedulerTasks    *orm.Meta[SchedulerTask]
+	HL7Queue          *orm.Meta[HL7InQueue]
+	RelationshipTypes *orm.Meta[RelationshipType]
+
+	// Associations.
+	NamesOfPerson     *orm.HasMany[Person, PersonName]
+	AttrsOfPerson     *orm.HasMany[Person, PersonAttribute]
+	AddressesOfPerson *orm.HasMany[Person, PersonAddress]
+	RolesOfUser       *orm.HasMany[User, UserRole]
+	PrivsOfRole       *orm.HasMany[Role, RolePrivilege]
+	IdentifiersOf     *orm.HasMany[Patient, PatientIdentifier]
+	EncountersOf      *orm.HasMany[Patient, Encounter]
+	VisitsOf          *orm.HasMany[Patient, Visit]
+	ObsOfEncounter    *orm.HasMany[Encounter, Obs]
+	ObsOfPatient      *orm.HasMany[Patient, Obs]
+	NamesOfConcept    *orm.HasMany[Concept, ConceptName]
+	FormFieldsOf      *orm.HasMany[Form, FormField]
+	OrdersOf          *orm.HasMany[Patient, Order]
+	ProgramsOf        *orm.HasMany[Patient, PatientProgram]
+	AlertsOfUser      *orm.HasMany[User, Alert]
+	ChildLocations    *orm.HasMany[Location, Location]
+	PersonOfUser      *orm.BelongsTo[User, Person]
+	PersonOfPatient   *orm.BelongsTo[Patient, Person]
+	ConceptOfObs      *orm.BelongsTo[Obs, Concept]
+	FormOfEncounter   *orm.BelongsTo[Encounter, Form]
+	ProviderOfEnc     *orm.BelongsTo[Encounter, Provider]
+	VisitTypeOfVisit  *orm.BelongsTo[Visit, VisitType]
+	ConceptOfField    *orm.BelongsTo[Field, Concept]
+	UserOfAlert       *orm.BelongsTo[Alert, User]
+}
+
+// NewMetas builds the mappings with the fetch strategies the original
+// application declares. The eager declarations are the source of the
+// original app's hydration waste (paper Sec. 6.1 "Avoiding unnecessary
+// queries"); Sloth sessions ignore them by construction.
+func NewMetas() *Metas {
+	m := &Metas{
+		Users:             orm.MustRegister[User]("users"),
+		Persons:           orm.MustRegister[Person]("persons"),
+		PersonNames:       orm.MustRegister[PersonName]("person_names"),
+		PersonAttributes:  orm.MustRegister[PersonAttribute]("person_attributes"),
+		PersonAddresses:   orm.MustRegister[PersonAddress]("person_addresses"),
+		Roles:             orm.MustRegister[Role]("roles"),
+		UserRoles:         orm.MustRegister[UserRole]("user_roles"),
+		RolePrivileges:    orm.MustRegister[RolePrivilege]("role_privileges"),
+		GlobalProperties:  orm.MustRegister[GlobalProperty]("global_properties"),
+		Patients:          orm.MustRegister[Patient]("patients"),
+		Identifiers:       orm.MustRegister[PatientIdentifier]("patient_identifiers"),
+		Encounters:        orm.MustRegister[Encounter]("encounters"),
+		Observations:      orm.MustRegister[Obs]("obs"),
+		Concepts:          orm.MustRegister[Concept]("concepts"),
+		ConceptNames:      orm.MustRegister[ConceptName]("concept_names"),
+		Visits:            orm.MustRegister[Visit]("visits"),
+		VisitTypes:        orm.MustRegister[VisitType]("visit_types"),
+		Locations:         orm.MustRegister[Location]("locations"),
+		Forms:             orm.MustRegister[Form]("forms"),
+		Fields:            orm.MustRegister[Field]("fields"),
+		FormFields:        orm.MustRegister[FormField]("form_fields"),
+		Providers:         orm.MustRegister[Provider]("providers"),
+		Drugs:             orm.MustRegister[Drug]("drugs"),
+		Orders:            orm.MustRegister[Order]("orders"),
+		Programs:          orm.MustRegister[Program]("programs"),
+		PatientPrograms:   orm.MustRegister[PatientProgram]("patient_programs"),
+		Alerts:            orm.MustRegister[Alert]("alerts"),
+		EncounterTypes:    orm.MustRegister[EncounterType]("encounter_types"),
+		Modules:           orm.MustRegister[Module]("modules"),
+		SchedulerTasks:    orm.MustRegister[SchedulerTask]("scheduler_tasks"),
+		HL7Queue:          orm.MustRegister[HL7InQueue]("hl7_in_queue"),
+		RelationshipTypes: orm.MustRegister[RelationshipType]("relationship_types"),
+	}
+
+	// Person hydration: loading a person eagerly pulls names, attributes,
+	// and addresses — the cascade behind the original app's query counts.
+	m.NamesOfPerson = orm.NewHasMany(m.Persons, m.PersonNames, "person_id", orm.FetchEager)
+	m.AttrsOfPerson = orm.NewHasMany(m.Persons, m.PersonAttributes, "person_id", orm.FetchEager)
+	m.AddressesOfPerson = orm.NewHasMany(m.Persons, m.PersonAddresses, "person_id", orm.FetchEager)
+
+	// Users and patients eagerly hydrate their person (and transitively the
+	// person's cascade).
+	m.PersonOfUser = orm.NewBelongsTo(m.Users, m.Persons, func(u *User) int64 { return u.PersonID }, orm.FetchEager)
+	m.PersonOfPatient = orm.NewBelongsTo(m.Patients, m.Persons, func(p *Patient) int64 { return p.PersonID }, orm.FetchEager)
+
+	// Collections declared lazy (the Hibernate default): fetched on access.
+	m.RolesOfUser = orm.NewHasMany(m.Users, m.UserRoles, "user_id", orm.FetchLazy)
+	m.PrivsOfRole = orm.NewHasMany(m.Roles, m.RolePrivileges, "role_id", orm.FetchLazy)
+	m.IdentifiersOf = orm.NewHasMany(m.Patients, m.Identifiers, "patient_id", orm.FetchEager)
+	m.EncountersOf = orm.NewHasMany(m.Patients, m.Encounters, "patient_id", orm.FetchLazy)
+	m.VisitsOf = orm.NewHasMany(m.Patients, m.Visits, "patient_id", orm.FetchLazy)
+	m.ObsOfEncounter = orm.NewHasMany(m.Encounters, m.Observations, "encounter_id", orm.FetchLazy)
+	m.ObsOfPatient = orm.NewHasMany(m.Patients, m.Observations, "patient_id", orm.FetchLazy)
+	m.NamesOfConcept = orm.NewHasMany(m.Concepts, m.ConceptNames, "concept_id", orm.FetchEager)
+	m.FormFieldsOf = orm.NewHasMany(m.Forms, m.FormFields, "form_id", orm.FetchLazy)
+	m.OrdersOf = orm.NewHasMany(m.Patients, m.Orders, "patient_id", orm.FetchLazy)
+	m.ProgramsOf = orm.NewHasMany(m.Patients, m.PatientPrograms, "patient_id", orm.FetchLazy)
+	m.AlertsOfUser = orm.NewHasMany(m.Users, m.Alerts, "user_id", orm.FetchLazy)
+	m.ChildLocations = orm.NewHasMany(m.Locations, m.Locations, "parent_id", orm.FetchLazy)
+
+	// Obs → Concept stays lazy: it is the reference the paper's
+	// encounterDisplay example fetches per-observation (Sec. 6.1).
+	m.ConceptOfObs = orm.NewBelongsTo(m.Observations, m.Concepts, func(o *Obs) int64 { return o.ConceptID }, orm.FetchLazy)
+	m.FormOfEncounter = orm.NewBelongsTo(m.Encounters, m.Forms, func(e *Encounter) int64 { return e.FormID }, orm.FetchEager)
+	m.ProviderOfEnc = orm.NewBelongsTo(m.Encounters, m.Providers, func(e *Encounter) int64 { return e.ProviderID }, orm.FetchEager)
+	m.VisitTypeOfVisit = orm.NewBelongsTo(m.Visits, m.VisitTypes, func(v *Visit) int64 { return v.VisitTypeID }, orm.FetchEager)
+	m.ConceptOfField = orm.NewBelongsTo(m.Fields, m.Concepts, func(f *Field) int64 { return f.ConceptID }, orm.FetchLazy)
+	m.UserOfAlert = orm.NewBelongsTo(m.Alerts, m.Users, func(a *Alert) int64 { return a.UserID }, orm.FetchLazy)
+	return m
+}

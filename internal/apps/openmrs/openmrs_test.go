@@ -1,0 +1,212 @@
+package openmrs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+	"repro/internal/webapp"
+)
+
+// rig seeds a small database and returns the app plus a session factory.
+func rigApp(t *testing.T) (*App, *driver.Server, *netsim.VirtualClock) {
+	t.Helper()
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	size := DefaultSize()
+	size.Patients = 12
+	size.Alerts = 20
+	size.GlobalProps = 40
+	if err := Seed(db, size); err != nil {
+		t.Fatal(err)
+	}
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	app := Build(clock, webapp.DefaultCostProfile())
+	return app, srv, clock
+}
+
+// loadPage runs one page in the given mode over a fresh connection,
+// returning the result and the round trips / queries used.
+func loadPage(t *testing.T, app *App, srv *driver.Server, clock *netsim.VirtualClock, page string, mode orm.Mode) (*webapp.Result, int64, int64) {
+	t.Helper()
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	sess := orm.NewSession(querystore.New(conn, querystore.Config{}), mode)
+	res, err := app.Load(page, webapp.Params{"patientId": DashboardPatientID}, sess)
+	if err != nil {
+		t.Fatalf("page %s (%v mode): %v", page, mode, err)
+	}
+	return res, link.Stats().RoundTrips, conn.QueriesSent()
+}
+
+func TestBuildRegisters112Pages(t *testing.T) {
+	app := Build(netsim.NewVirtualClock(), webapp.DefaultCostProfile())
+	if got := len(app.Pages()); got != 112 {
+		t.Fatalf("pages = %d, want 112", got)
+	}
+}
+
+func TestSeedPopulatesCoreTables(t *testing.T) {
+	db := engine.New()
+	if err := Seed(db, DefaultSize()); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	for table, min := range map[string]int64{
+		"patients": 40, "encounters": 120, "obs": 1000, "concepts": 150,
+		"users": 10, "global_properties": 80, "alerts": 60, "visits": 80,
+	} {
+		rs, err := s.Exec("SELECT COUNT(*) AS n FROM " + table)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if n, _ := rs.Int(0, "n"); n < min {
+			t.Errorf("%s has %d rows, want >= %d", table, n, min)
+		}
+	}
+	// The dashboard patient must have data.
+	rs, _ := s.Exec("SELECT COUNT(*) AS n FROM encounters WHERE patient_id = ?", int64(DashboardPatientID))
+	if n, _ := rs.Int(0, "n"); n == 0 {
+		t.Error("dashboard patient has no encounters")
+	}
+}
+
+func TestAllPagesLoadInBothModes(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	for _, page := range app.Pages() {
+		resO, tripsO, _ := loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		resS, tripsS, _ := loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		if len(resO.HTML) == 0 || len(resS.HTML) == 0 {
+			t.Errorf("page %s rendered empty HTML", page)
+		}
+		if tripsS > tripsO {
+			t.Errorf("page %s: sloth trips %d > original %d", page, tripsS, tripsO)
+		}
+	}
+}
+
+func TestSlothReducesRoundTripsSubstantially(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	improved := 0
+	var ratios []float64
+	for _, page := range app.Pages() {
+		_, tripsO, _ := loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		_, tripsS, _ := loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		if tripsS < tripsO {
+			improved++
+		}
+		if tripsS > 0 {
+			ratios = append(ratios, float64(tripsO)/float64(tripsS))
+		}
+	}
+	if improved < len(app.Pages())*9/10 {
+		t.Fatalf("only %d/%d pages improved", improved, len(app.Pages()))
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	mean := sum / float64(len(ratios))
+	if mean < 2 {
+		t.Fatalf("mean round-trip ratio %.2f < 2; batching ineffective", mean)
+	}
+}
+
+func TestPatientDashboardMatchesFig1Pattern(t *testing.T) {
+	app, srv, clock := rigApp(t)
+
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	store := querystore.New(conn, querystore.Config{})
+	sess := orm.NewSession(store, orm.ModeSloth)
+	res, err := app.Load("patientDashboardForm.jsp", webapp.Params{"patientId": DashboardPatientID}, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.HTML, "user1") {
+		t.Error("dashboard missing authenticated user")
+	}
+	// Q2/Q3/Q4 (+identifiers/programs/orders/count) must have shared one
+	// batch: look for a flushed batch of at least 4 queries.
+	if store.Stats().MaxBatch < 4 {
+		t.Errorf("max batch = %d, want >= 4 (model queries batched)", store.Stats().MaxBatch)
+	}
+}
+
+func TestEncounterDisplayBatchesConceptFetches(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	link := netsim.NewLink(clock, 500*time.Microsecond)
+	conn := srv.Connect(link)
+	store := querystore.New(conn, querystore.Config{})
+	sess := orm.NewSession(store, orm.ModeSloth)
+	if _, err := app.Load("encounters/encounterDisplay.jsp", webapp.Params{"patientId": DashboardPatientID}, sess); err != nil {
+		t.Fatal(err)
+	}
+	// Default size: 3 encounters × 12 obs → ~30+ distinct concept fetches
+	// in the final batch (dedup may collapse repeated concepts).
+	if store.Stats().MaxBatch < 15 {
+		t.Errorf("max batch = %d, want >= 15 (concept fetch batch)", store.Stats().MaxBatch)
+	}
+	_, tripsO, _ := loadPage(t, app, srv, clock, "encounters/encounterDisplay.jsp", orm.ModeOriginal)
+	_, tripsS, _ := loadPage(t, app, srv, clock, "encounters/encounterDisplay.jsp", orm.ModeSloth)
+	if float64(tripsO)/float64(tripsS) < 2 {
+		t.Errorf("encounterDisplay trips: original %d, sloth %d; ratio < 2", tripsO, tripsS)
+	}
+}
+
+func TestEagerWasteOnlyInOriginalMode(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	_, _, queriesO := loadPage(t, app, srv, clock, "admin/encounters/encounterForm.jsp", orm.ModeOriginal)
+	_, _, queriesS := loadPage(t, app, srv, clock, "admin/encounters/encounterForm.jsp", orm.ModeSloth)
+	if queriesO <= queriesS {
+		t.Errorf("original queries %d <= sloth %d; eager waste missing", queriesO, queriesS)
+	}
+}
+
+func TestAlertListHeavyPage(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	_, tripsO, _ := loadPage(t, app, srv, clock, "admin/users/alertList.jsp", orm.ModeOriginal)
+	_, tripsS, _ := loadPage(t, app, srv, clock, "admin/users/alertList.jsp", orm.ModeSloth)
+	if tripsO < 20 {
+		t.Errorf("alertList original trips = %d, want heavy (>= 20)", tripsO)
+	}
+	if tripsS*3 > tripsO {
+		t.Errorf("alertList: sloth %d vs original %d; want >= 3x reduction", tripsS, tripsO)
+	}
+}
+
+func TestConceptStatsLittleBatching(t *testing.T) {
+	// Sequentially dependent aggregates leave little to batch: sloth's
+	// round-trip ratio on this page must be modest (paper: 100 → 82).
+	app, srv, clock := rigApp(t)
+	_, tripsO, _ := loadPage(t, app, srv, clock, "dictionary/conceptStatsForm.jsp", orm.ModeOriginal)
+	_, tripsS, _ := loadPage(t, app, srv, clock, "dictionary/conceptStatsForm.jsp", orm.ModeSloth)
+	if float64(tripsO)/float64(tripsS) > 4 {
+		t.Errorf("conceptStats ratio %d/%d too high for a dependent-chain page", tripsO, tripsS)
+	}
+	if tripsS < 20 {
+		t.Errorf("conceptStats sloth trips = %d, want >= 20 (chain forces)", tripsS)
+	}
+}
+
+func TestSlothFasterAtDataCenterRTT(t *testing.T) {
+	app, srv, clock := rigApp(t)
+	var timeO, timeS time.Duration
+	pages := app.Pages()[:20]
+	for _, page := range pages {
+		start := clock.Now()
+		loadPage(t, app, srv, clock, page, orm.ModeOriginal)
+		timeO += clock.Now() - start
+		start = clock.Now()
+		loadPage(t, app, srv, clock, page, orm.ModeSloth)
+		timeS += clock.Now() - start
+	}
+	if timeS >= timeO {
+		t.Fatalf("sloth total %v >= original %v at 0.5ms RTT", timeS, timeO)
+	}
+}

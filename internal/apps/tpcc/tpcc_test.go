@@ -1,0 +1,176 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+)
+
+func rigDirect(t *testing.T) (*Client, *engine.DB) {
+	t.Helper()
+	db := engine.New()
+	cfg := DefaultConfig()
+	if err := Seed(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	clock := netsim.NewVirtualClock()
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	conn := srv.Connect(netsim.NewLink(clock, 0))
+	return NewClient(DirectExecutor{Conn: conn}, cfg, 1), db
+}
+
+func rigSloth(t *testing.T) *Client {
+	t.Helper()
+	db := engine.New()
+	cfg := DefaultConfig()
+	if err := Seed(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	clock := netsim.NewVirtualClock()
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	conn := srv.Connect(netsim.NewLink(clock, 0))
+	return NewClient(SlothExecutor{Store: querystore.New(conn, querystore.Config{})}, cfg, 1)
+}
+
+func TestSeedCreatesBaseData(t *testing.T) {
+	db := engine.New()
+	cfg := DefaultConfig()
+	if err := Seed(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	checks := map[string]int64{
+		"warehouse": int64(cfg.Warehouses),
+		"district":  int64(cfg.Warehouses * cfg.DistrictsPerWH),
+		"customer":  int64(cfg.Warehouses * cfg.DistrictsPerWH * cfg.CustomersPerDist),
+		"item":      int64(cfg.Items),
+		"stock":     int64(cfg.Warehouses * cfg.Items),
+	}
+	for table, want := range checks {
+		rs, err := s.Exec("SELECT COUNT(*) AS n FROM " + table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := rs.Int(0, "n"); n != want {
+			t.Errorf("%s = %d rows, want %d", table, n, want)
+		}
+	}
+}
+
+func TestAllTransactionsRunDirect(t *testing.T) {
+	c, _ := rigDirect(t)
+	for _, name := range TxnNames {
+		for i := 0; i < 5; i++ {
+			if err := c.Run(name); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestAllTransactionsRunSloth(t *testing.T) {
+	c := rigSloth(t)
+	for _, name := range TxnNames {
+		for i := 0; i < 5; i++ {
+			if err := c.Run(name); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestNewOrderUpdatesState(t *testing.T) {
+	c, db := rigDirect(t)
+	s := db.NewSession()
+	before, _ := s.Exec("SELECT COUNT(*) AS n FROM orders")
+	nBefore, _ := before.Int(0, "n")
+	if err := c.NewOrder(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Exec("SELECT COUNT(*) AS n FROM orders")
+	nAfter, _ := after.Int(0, "n")
+	if nAfter != nBefore+1 {
+		t.Fatalf("orders %d -> %d, want +1", nBefore, nAfter)
+	}
+	ol, _ := s.Exec("SELECT COUNT(*) AS n FROM order_line WHERE ol_o_id >= 1000000")
+	if n, _ := ol.Int(0, "n"); n < 5 {
+		t.Fatalf("order lines = %d, want >= 5", n)
+	}
+}
+
+func TestPaymentAdjustsBalance(t *testing.T) {
+	c, db := rigDirect(t)
+	s := db.NewSession()
+	before, _ := s.Exec("SELECT SUM(w_ytd) AS total FROM warehouse")
+	if err := c.Payment(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Exec("SELECT SUM(w_ytd) AS total FROM warehouse")
+	b, _ := before.Get(0, "total")
+	a, _ := after.Get(0, "total")
+	if a.(float64) <= b.(float64) {
+		t.Fatalf("warehouse ytd did not grow: %v -> %v", b, a)
+	}
+	h, _ := s.Exec("SELECT COUNT(*) AS n FROM history")
+	if n, _ := h.Int(0, "n"); n != 1 {
+		t.Fatalf("history rows = %d, want 1", n)
+	}
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	c, db := rigDirect(t)
+	s := db.NewSession()
+	before, _ := s.Exec("SELECT COUNT(*) AS n FROM new_orders")
+	nBefore, _ := before.Int(0, "n")
+	if err := c.Delivery(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Exec("SELECT COUNT(*) AS n FROM new_orders")
+	nAfter, _ := after.Int(0, "n")
+	if nAfter >= nBefore {
+		t.Fatalf("new_orders %d -> %d, want decrease", nBefore, nAfter)
+	}
+}
+
+func TestSlothAndDirectConverge(t *testing.T) {
+	// The same deterministic transaction stream must leave equivalent
+	// database aggregates under both executors (semantic preservation).
+	cDirect, dbDirect := rigDirect(t)
+
+	dbSloth := engine.New()
+	cfg := DefaultConfig()
+	if err := Seed(dbSloth, cfg); err != nil {
+		t.Fatal(err)
+	}
+	clock := netsim.NewVirtualClock()
+	srv := driver.NewServer(dbSloth, clock, driver.DefaultCostModel())
+	conn := srv.Connect(netsim.NewLink(clock, 0))
+	cSloth := NewClient(SlothExecutor{Store: querystore.New(conn, querystore.Config{})}, cfg, 1)
+
+	stream := []string{"New order", "Payment", "Order status", "New order", "Delivery", "Stock level", "Payment"}
+	for _, name := range stream {
+		if err := cDirect.Run(name); err != nil {
+			t.Fatalf("direct %s: %v", name, err)
+		}
+		if err := cSloth.Run(name); err != nil {
+			t.Fatalf("sloth %s: %v", name, err)
+		}
+	}
+	for _, probe := range []string{
+		"SELECT COUNT(*) AS n FROM orders",
+		"SELECT COUNT(*) AS n FROM order_line",
+		"SELECT COUNT(*) AS n FROM new_orders",
+		"SELECT COUNT(*) AS n FROM history",
+	} {
+		d, _ := dbDirect.NewSession().Exec(probe)
+		s, _ := dbSloth.NewSession().Exec(probe)
+		dn, _ := d.Int(0, "n")
+		sn, _ := s.Int(0, "n")
+		if dn != sn {
+			t.Errorf("%s: direct %d != sloth %d", probe, dn, sn)
+		}
+	}
+}

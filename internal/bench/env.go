@@ -1,0 +1,216 @@
+// Package bench is the experiment harness: it reproduces every table and
+// figure in the paper's evaluation (Sec. 6) on top of the reproduction's
+// substrates. Each experiment has a Run function returning a typed report
+// with a Format method that prints rows in the paper's layout, and a
+// corresponding benchmark in the repository root.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/itracker"
+	"repro/internal/apps/openmrs"
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+	"repro/internal/webapp"
+)
+
+// AppID selects one of the two evaluation applications.
+type AppID int
+
+const (
+	// Itracker is the 38-page issue tracker.
+	Itracker AppID = iota
+	// OpenMRS is the 112-page medical record system.
+	OpenMRS
+)
+
+// String names the application.
+func (a AppID) String() string {
+	if a == Itracker {
+		return "itracker"
+	}
+	return "OpenMRS"
+}
+
+// appAdapter is the common surface of the two applications.
+type appAdapter interface {
+	Pages() []string
+	Load(name string, req webapp.Params, sess *orm.Session) (*webapp.Result, error)
+}
+
+// Env is one application wired to a server over a virtual clock: the
+// equivalent of the paper's web host + database host pair.
+type Env struct {
+	ID    AppID
+	Clock *netsim.VirtualClock
+	Srv   *driver.Server
+	app   appAdapter
+	req   webapp.Params
+}
+
+// NewEnv builds and seeds an environment. scale multiplies the default data
+// sizes for the scaling experiment; pass 1 for the standard database.
+func NewEnv(id AppID, scale int) (*Env, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	env := &Env{ID: id, Clock: clock}
+	switch id {
+	case Itracker:
+		size := itracker.DefaultSize()
+		size.Projects *= scale
+		if err := itracker.Seed(db, size); err != nil {
+			return nil, err
+		}
+		env.app = itracker.Build(clock, webapp.DefaultCostProfile())
+		env.req = webapp.Params{"projectId": itracker.MainProjectID, "issueId": itracker.MainIssueID}
+	case OpenMRS:
+		size := openmrs.DefaultSize()
+		size.ObsPerEncounter *= scale
+		// The paper's growing batches (68 → 1880 queries) imply the
+		// observation concepts stay largely distinct as data grows, so the
+		// dictionary scales with the observations.
+		size.Concepts *= scale
+		if err := openmrs.Seed(db, size); err != nil {
+			return nil, err
+		}
+		env.app = openmrs.Build(clock, webapp.DefaultCostProfile())
+		env.req = webapp.Params{"patientId": openmrs.DashboardPatientID}
+	default:
+		return nil, fmt.Errorf("bench: unknown app %d", id)
+	}
+	env.Srv = driver.NewServer(db, clock, driver.DefaultCostModel())
+	return env, nil
+}
+
+// Pages lists the benchmark pages.
+func (e *Env) Pages() []string { return e.app.Pages() }
+
+// PageMetrics reports one page load.
+type PageMetrics struct {
+	Page       string
+	Total      time.Duration
+	AppTime    time.Duration
+	DBTime     time.Duration
+	NetTime    time.Duration
+	RoundTrips int64
+	Queries    int64 // statements executed at the database
+	MaxBatch   int
+}
+
+// LoadPage runs one page in the given mode at the given RTT, on a fresh
+// connection and session (the paper restarts state between measurements).
+func (e *Env) LoadPage(page string, mode orm.Mode, rtt time.Duration) (PageMetrics, error) {
+	link := netsim.NewLink(e.Clock, rtt)
+	conn := e.Srv.Connect(link)
+	store := querystore.New(conn, querystore.Config{})
+	sess := orm.NewSession(store, mode)
+
+	dbBefore := e.Srv.Stats().DBTime
+	start := e.Clock.Now()
+	res, err := e.app.Load(page, e.req, sess)
+	if err != nil {
+		return PageMetrics{}, fmt.Errorf("bench: %s page %q: %w", mode2str(mode), page, err)
+	}
+	m := PageMetrics{
+		Page:       page,
+		Total:      e.Clock.Now() - start,
+		AppTime:    res.AppTime,
+		DBTime:     e.Srv.Stats().DBTime - dbBefore,
+		NetTime:    link.Stats().NetTime,
+		RoundTrips: link.Stats().RoundTrips,
+		Queries:    conn.QueriesSent(),
+		MaxBatch:   store.Stats().MaxBatch,
+	}
+	if mode == orm.ModeOriginal {
+		m.MaxBatch = 1
+	}
+	return m, nil
+}
+
+// loadPageWithStore runs one Sloth-mode page load with a custom query-store
+// configuration (the store ablations).
+func loadPageWithStore(e *Env, page string, cfg querystore.Config) (PageMetrics, error) {
+	link := netsim.NewLink(e.Clock, 500*time.Microsecond)
+	conn := e.Srv.Connect(link)
+	store := querystore.New(conn, cfg)
+	sess := orm.NewSession(store, orm.ModeSloth)
+	dbBefore := e.Srv.Stats().DBTime
+	start := e.Clock.Now()
+	res, err := e.app.Load(page, e.req, sess)
+	if err != nil {
+		return PageMetrics{}, err
+	}
+	return PageMetrics{
+		Page:       page,
+		Total:      e.Clock.Now() - start,
+		AppTime:    res.AppTime,
+		DBTime:     e.Srv.Stats().DBTime - dbBefore,
+		NetTime:    link.Stats().NetTime,
+		RoundTrips: link.Stats().RoundTrips,
+		Queries:    conn.QueriesSent(),
+		MaxBatch:   store.Stats().MaxBatch,
+	}, nil
+}
+
+func mode2str(m orm.Mode) string {
+	if m == orm.ModeOriginal {
+		return "original"
+	}
+	return "sloth"
+}
+
+// Comparison pairs the two modes for one page.
+type Comparison struct {
+	Page  string
+	Orig  PageMetrics
+	Sloth PageMetrics
+}
+
+// Speedup is the paper's load-time ratio (original / sloth).
+func (c Comparison) Speedup() float64 {
+	if c.Sloth.Total == 0 {
+		return 0
+	}
+	return float64(c.Orig.Total) / float64(c.Sloth.Total)
+}
+
+// TripRatio is the round-trip ratio (original / sloth).
+func (c Comparison) TripRatio() float64 {
+	if c.Sloth.RoundTrips == 0 {
+		return 0
+	}
+	return float64(c.Orig.RoundTrips) / float64(c.Sloth.RoundTrips)
+}
+
+// QueryRatio is the total-issued-queries ratio (original / sloth).
+func (c Comparison) QueryRatio() float64 {
+	if c.Sloth.Queries == 0 {
+		return 0
+	}
+	return float64(c.Orig.Queries) / float64(c.Sloth.Queries)
+}
+
+// RunSuite loads every page in both modes at the given RTT.
+func (e *Env) RunSuite(rtt time.Duration) ([]Comparison, error) {
+	var out []Comparison
+	for _, page := range e.Pages() {
+		orig, err := e.LoadPage(page, orm.ModeOriginal, rtt)
+		if err != nil {
+			return nil, err
+		}
+		sloth, err := e.LoadPage(page, orm.ModeSloth, rtt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{Page: page, Orig: orig, Sloth: sloth})
+	}
+	return out, nil
+}

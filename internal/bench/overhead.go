@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps/tpcc"
+	"repro/internal/apps/tpcw"
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/querystore"
+	"repro/internal/sqldb/engine"
+)
+
+// This file reproduces the overhead experiment (Fig. 13): TPC-C and TPC-W
+// workloads whose results are consumed immediately, leaving Sloth nothing
+// to batch. Both variants run on a zero-latency link so the measured
+// difference is pure lazy-evaluation runtime overhead, in real wall-clock
+// time as in the paper.
+
+// OverheadRow is one Fig. 13 line.
+type OverheadRow struct {
+	Workload string
+	Name     string
+	Original time.Duration
+	Sloth    time.Duration
+}
+
+// OverheadPct computes the paper's overhead percentage.
+func (r OverheadRow) OverheadPct() float64 {
+	if r.Original == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Sloth) - float64(r.Original)) / float64(r.Original)
+}
+
+// OverheadReport is the Fig. 13 table.
+type OverheadReport struct {
+	Txns int
+	Rows []OverheadRow
+}
+
+// Overhead runs each TPC-C transaction type and TPC-W mix for txns
+// iterations under both executors, measuring wall-clock time.
+func Overhead(txns int) (OverheadReport, error) {
+	rep := OverheadReport{Txns: txns}
+
+	// TPC-C: five transaction types.
+	for _, name := range tpcc.TxnNames {
+		orig, err := timeTPCC(name, txns, false)
+		if err != nil {
+			return rep, err
+		}
+		sloth, err := timeTPCC(name, txns, true)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rows = append(rep.Rows, OverheadRow{Workload: "TPC-C", Name: name, Original: orig, Sloth: sloth})
+	}
+	// TPC-W: three mixes.
+	for _, mix := range tpcw.MixNames {
+		orig, err := timeTPCW(mix, txns, false)
+		if err != nil {
+			return rep, err
+		}
+		sloth, err := timeTPCW(mix, txns, true)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rows = append(rep.Rows, OverheadRow{Workload: "TPC-W", Name: mix, Original: orig, Sloth: sloth})
+	}
+	return rep, nil
+}
+
+// newExecutor wires a fresh database and returns the chosen executor.
+func newExecutor(sloth bool, seedFn func(*engine.DB) error) (tpcc.Executor, error) {
+	db := engine.New()
+	if err := seedFn(db); err != nil {
+		return nil, err
+	}
+	clock := netsim.NewVirtualClock()
+	srv := driver.NewServer(db, clock, driver.CostModel{}) // zero modeled cost: wall clock only
+	conn := srv.Connect(netsim.NewLink(clock, 0))
+	if sloth {
+		return tpcc.SlothExecutor{Store: querystore.New(conn, querystore.Config{})}, nil
+	}
+	return tpcc.DirectExecutor{Conn: conn}, nil
+}
+
+// measureReps is how many times each workload is timed; the minimum is
+// reported, suppressing GC and scheduler noise on short runs.
+const measureReps = 3
+
+func timeTPCC(txn string, txns int, sloth bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < measureReps; rep++ {
+		cfg := tpcc.DefaultConfig()
+		exec, err := newExecutor(sloth, func(db *engine.DB) error { return tpcc.Seed(db, cfg) })
+		if err != nil {
+			return 0, err
+		}
+		client := tpcc.NewClient(exec, cfg, 1)
+		// Warm up caches and the allocator so the measurement compares
+		// steady states.
+		for i := 0; i < txns/10+5; i++ {
+			if err := client.Run(txn); err != nil {
+				return 0, fmt.Errorf("bench: tpcc warmup %s: %w", txn, err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < txns; i++ {
+			if err := client.Run(txn); err != nil {
+				return 0, fmt.Errorf("bench: tpcc %s: %w", txn, err)
+			}
+		}
+		if d := time.Since(start); rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func timeTPCW(mix string, txns int, sloth bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < measureReps; rep++ {
+		cfg := tpcw.DefaultConfig()
+		exec, err := newExecutor(sloth, func(db *engine.DB) error { return tpcw.Seed(db, cfg) })
+		if err != nil {
+			return 0, err
+		}
+		client := tpcw.NewClient(exec, cfg, 1)
+		for i := 0; i < txns/10+5; i++ {
+			if err := client.RunMixStep(mix); err != nil {
+				return 0, fmt.Errorf("bench: tpcw warmup %s: %w", mix, err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < txns; i++ {
+			if err := client.RunMixStep(mix); err != nil {
+				return 0, fmt.Errorf("bench: tpcw %s: %w", mix, err)
+			}
+		}
+		if d := time.Since(start); rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Format renders the Fig. 13 table.
+func (r OverheadReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== Fig. 13: lazy-evaluation overhead (%d txns each) ==\n", r.Txns)
+	fmt.Fprintf(&sb, "%-8s %-15s %14s %14s %10s\n", "suite", "transaction", "original", "sloth", "overhead")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-8s %-15s %14v %14v %9.1f%%\n",
+			row.Workload, row.Name,
+			row.Original.Round(time.Millisecond), row.Sloth.Round(time.Millisecond),
+			row.OverheadPct())
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations called out in DESIGN.md Sec. 5, exercised as comparisons over
+// the OpenMRS suite.
+
+// AblationConfigsReport compares query-store configurations.
+type AblationConfigsReport struct {
+	Rows []AblationConfigRow
+}
+
+// AblationConfigRow is one store configuration's aggregate result.
+type AblationConfigRow struct {
+	Label      string
+	Time       time.Duration
+	RoundTrips int64
+	Queries    int64
+}
+
+// StoreAblation runs the OpenMRS suite in Sloth mode under store variants:
+// default, dedup off, and batch caps (the paper's future-work strategy).
+func StoreAblation(env *Env, caps []int) (AblationConfigsReport, error) {
+	configs := []struct {
+		label string
+		cfg   querystore.Config
+	}{
+		{"default", querystore.Config{}},
+		{"no-dedup", querystore.Config{DisableDedup: true}},
+	}
+	for _, cap := range caps {
+		configs = append(configs, struct {
+			label string
+			cfg   querystore.Config
+		}{fmt.Sprintf("cap-%d", cap), querystore.Config{BatchCap: cap}})
+	}
+	var rep AblationConfigsReport
+	for _, c := range configs {
+		var total time.Duration
+		var trips, queries int64
+		for _, page := range env.Pages() {
+			m, err := loadPageWithStore(env, page, c.cfg)
+			if err != nil {
+				return rep, err
+			}
+			total += m.Total
+			trips += m.RoundTrips
+			queries += m.Queries
+		}
+		rep.Rows = append(rep.Rows, AblationConfigRow{Label: c.label, Time: total, RoundTrips: trips, Queries: queries})
+	}
+	return rep, nil
+}
+
+// Format renders the store ablation table.
+func (r AblationConfigsReport) Format() string {
+	var sb strings.Builder
+	sb.WriteString("== Ablation: query-store configurations (sloth mode, full suite) ==\n")
+	fmt.Fprintf(&sb, "%-10s %14s %12s %10s\n", "config", "total time", "round trips", "queries")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-10s %14v %12d %10d\n", row.Label, row.Time.Round(time.Microsecond), row.RoundTrips, row.Queries)
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+// Package core assembles Sloth's primary contribution into one runtime
+// object: extended lazy evaluation (internal/thunk) wired to a query store
+// (internal/querystore) over a batch-capable driver connection
+// (internal/driver). A Runtime is what a Sloth-compiled application holds
+// per request: it registers queries eagerly, defers their execution, and
+// flushes accumulated batches in single round trips when results are
+// demanded.
+package core
+
+import (
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/engine"
+	"repro/internal/thunk"
+)
+
+// Runtime is a per-request Sloth execution context.
+type Runtime struct {
+	store *querystore.Store
+}
+
+// NewRuntime wraps an established connection.
+func NewRuntime(conn *driver.Conn, cfg querystore.Config) *Runtime {
+	return &Runtime{store: querystore.New(conn, cfg)}
+}
+
+// Store exposes the underlying query store.
+func (r *Runtime) Store() *querystore.Store { return r.store }
+
+// Conn exposes the underlying connection.
+func (r *Runtime) Conn() *driver.Conn { return r.store.Conn() }
+
+// LazyQuery registers sql with the query store now and returns a thunk for
+// its result — the fundamental Sloth operation (paper Sec. 3.3).
+func (r *Runtime) LazyQuery(sql string, args ...sqldb.Value) *thunk.Thunk[querystore.Result] {
+	return querystore.Lazy(r.store, sql, args...)
+}
+
+// Exec runs a statement demanding its result immediately. Writes flush any
+// pending batch first, preserving order and transaction boundaries.
+func (r *Runtime) Exec(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	return r.store.Exec(sql, args...)
+}
+
+// Flush forces the pending batch out in one round trip.
+func (r *Runtime) Flush() error { return r.store.Flush() }
+
+// Session opens an ORM session over this runtime in Sloth mode.
+func (r *Runtime) Session() *orm.Session {
+	return orm.NewSession(r.store, orm.ModeSloth)
+}
+
+// OriginalSession opens an ORM session with conventional eager execution,
+// for side-by-side comparisons.
+func (r *Runtime) OriginalSession() *orm.Session {
+	return orm.NewSession(r.store, orm.ModeOriginal)
+}
+
+// Testbed is an all-in-one in-process deployment: database engine, server,
+// simulated link, and a connected runtime. It is the quickest way to try
+// the library (see examples/quickstart).
+type Testbed struct {
+	Clock   *netsim.VirtualClock
+	DB      *engine.DB
+	Server  *driver.Server
+	Link    *netsim.Link
+	Runtime *Runtime
+}
+
+// NewTestbed builds a testbed with the given round-trip latency.
+func NewTestbed(rtt time.Duration) *Testbed {
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	link := netsim.NewLink(clock, rtt)
+	conn := srv.Connect(link)
+	return &Testbed{
+		Clock:   clock,
+		DB:      db,
+		Server:  srv,
+		Link:    link,
+		Runtime: NewRuntime(conn, querystore.Config{}),
+	}
+}
+
+// MustExec seeds the testbed database directly (no network accounting),
+// panicking on error; intended for fixtures.
+func (tb *Testbed) MustExec(sql string, args ...sqldb.Value) {
+	if _, err := tb.DB.NewSession().Exec(sql, args...); err != nil {
+		panic(err)
+	}
+}
+
+// RoundTrips reports how many round trips the testbed link has carried.
+func (tb *Testbed) RoundTrips() int64 { return tb.Link.Stats().RoundTrips }

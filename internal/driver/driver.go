@@ -1,0 +1,205 @@
+// Package driver provides the client/server boundary of the reproduction:
+// a database server wrapping the SQL engine with a per-query cost model,
+// and a client connection that ships statements across a simulated network
+// link. The connection offers both the conventional one-statement-per-round-
+// trip API (what the original applications use) and ExecBatch, the
+// reproduction of Sloth's extended JDBC driver that issues many statements
+// in a single round trip and executes the read statements in parallel
+// server-side (paper Sec. 5).
+package driver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/engine"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// Stmt is one statement with its positional arguments.
+type Stmt struct {
+	SQL  string
+	Args []sqldb.Value
+}
+
+// CostModel prices server-side query execution on the virtual clock. The
+// defaults approximate a warm in-memory MySQL instance: a fixed per-query
+// overhead plus a per-row scan cost. BatchDispatch is the (small) marginal
+// cost of each extra statement in a batch; batched reads otherwise run in
+// parallel so a batch costs the max of its members, not the sum.
+type CostModel struct {
+	PerQuery      time.Duration
+	PerRow        time.Duration
+	BatchDispatch time.Duration
+}
+
+// DefaultCostModel mirrors the calibration described in DESIGN.md.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerQuery:      60 * time.Microsecond,
+		PerRow:        700 * time.Nanosecond,
+		BatchDispatch: 6 * time.Microsecond,
+	}
+}
+
+// queryCost prices a single executed statement.
+func (m CostModel) queryCost(rs *sqldb.ResultSet) time.Duration {
+	rows := rs.RowsScanned
+	if rows == 0 {
+		rows = rs.RowsAffected
+	}
+	return m.PerQuery + time.Duration(rows)*m.PerRow
+}
+
+// ServerStats snapshots server-side accounting.
+type ServerStats struct {
+	Queries int64
+	Batches int64
+	// DBTime is total virtual time charged for query execution.
+	DBTime time.Duration
+}
+
+// Server fronts an engine.DB, charging execution time to the clock.
+type Server struct {
+	db    *engine.DB
+	clock netsim.Clock
+	cost  CostModel
+
+	mu    sync.Mutex
+	stats ServerStats
+}
+
+// NewServer creates a server over db using the given clock and cost model.
+func NewServer(db *engine.DB, clock netsim.Clock, cost CostModel) *Server {
+	return &Server{db: db, clock: clock, cost: cost}
+}
+
+// DB returns the underlying engine (for direct data loading in fixtures).
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the server counters.
+func (s *Server) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = ServerStats{}
+}
+
+// execBatch runs the statements for one connection. Writes and transaction
+// control execute serially in order; consecutive runs of read statements
+// execute "in parallel", costing the maximum member cost plus a dispatch
+// cost per statement (the behaviour of the extended driver in Sec. 5).
+func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
+	results := make([]*sqldb.ResultSet, 0, len(stmts))
+	var total time.Duration
+	var parallelMax time.Duration
+
+	flushParallel := func() {
+		total += parallelMax
+		parallelMax = 0
+	}
+
+	for _, st := range stmts {
+		parsed, err := sqlparse.Parse(st.SQL)
+		if err != nil {
+			return nil, total, fmt.Errorf("driver: %w", err)
+		}
+		rs, err := sess.ExecStmt(parsed, st.Args)
+		if err != nil {
+			return nil, total, err
+		}
+		cost := s.cost.queryCost(rs)
+		if sqlparse.IsWrite(parsed) {
+			// Writes serialize: close the current parallel group first.
+			flushParallel()
+			total += cost
+		} else {
+			if cost > parallelMax {
+				parallelMax = cost
+			}
+			total += s.cost.BatchDispatch
+		}
+		results = append(results, rs)
+	}
+	flushParallel()
+
+	s.mu.Lock()
+	s.stats.Queries += int64(len(stmts))
+	s.stats.Batches++
+	s.stats.DBTime += total
+	s.mu.Unlock()
+	s.clock.Advance(total)
+	return results, total, nil
+}
+
+// Conn is a client connection: an engine session reached across a link.
+// Conns are not safe for concurrent use, matching JDBC connections.
+type Conn struct {
+	srv  *Server
+	link *netsim.Link
+	sess *engine.Session
+
+	queriesSent int64
+}
+
+// Connect opens a connection to the server across link.
+func (s *Server) Connect(link *netsim.Link) *Conn {
+	return &Conn{srv: s, link: link, sess: s.db.NewSession()}
+}
+
+// Link exposes the connection's network link (for stats and RTT sweeps).
+func (c *Conn) Link() *netsim.Link { return c.link }
+
+// QueriesSent reports how many statements this connection has shipped.
+func (c *Conn) QueriesSent() int64 { return c.queriesSent }
+
+// ResetStats zeroes the connection counter.
+func (c *Conn) ResetStats() { c.queriesSent = 0 }
+
+// InTxn reports whether the connection has an open transaction.
+func (c *Conn) InTxn() bool { return c.sess.InTxn() }
+
+// Query executes one statement in its own round trip — the conventional
+// driver behaviour used by the original (non-Sloth) applications.
+func (c *Conn) Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	results, err := c.ExecBatch([]Stmt{{SQL: sql, Args: args}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// ExecBatch ships all statements to the server in one round trip and
+// returns their result sets in order — the Sloth batch driver.
+func (c *Conn) ExecBatch(stmts []Stmt) ([]*sqldb.ResultSet, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	reqBytes := 0
+	for _, st := range stmts {
+		reqBytes += len(st.SQL) + 8
+		for _, a := range st.Args {
+			reqBytes += sqldb.SizeOf(a)
+		}
+	}
+	results, _, err := c.srv.execBatch(c.sess, stmts)
+	if err != nil {
+		return nil, err
+	}
+	respBytes := 0
+	for _, rs := range results {
+		respBytes += rs.WireSize()
+	}
+	c.link.RoundTrip(reqBytes, respBytes)
+	c.queriesSent += int64(len(stmts))
+	return results, nil
+}

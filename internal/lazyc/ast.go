@@ -1,0 +1,191 @@
+// Package lazyc implements the paper's formal core (Sec. 3.8): the kernel
+// language of Fig. 4, an interpreter for its standard semantics, and the
+// Sloth compiler pipeline — code simplification, thunk conversion to
+// extended lazy semantics with a query store, and the three optimizations
+// of Sec. 4 (selective compilation, thunk coalescing, branch deferral).
+//
+// The package powers three of the paper's artifacts: the soundness theorem
+// (checked here with property-based tests comparing both semantics), the
+// persistent-method analysis table (Fig. 11), and the optimization ablation
+// (Fig. 12).
+package lazyc
+
+import "fmt"
+
+// Expr is a kernel-language expression (Fig. 4 plus string/arith literals,
+// arrays, and a len builtin).
+type Expr interface{ expr() }
+
+// Stmt is a kernel-language statement.
+type Stmt interface{ stmt() }
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+// Const is a literal: int64, bool, string, or nil (null).
+type Const struct{ Val any }
+
+// Var references a variable.
+type Var struct{ Name string }
+
+// Field is e.f.
+type Field struct {
+	Recv Expr
+	Name string
+}
+
+// Index is ea[ei].
+type Index struct {
+	Arr Expr
+	Idx Expr
+}
+
+// RecordLit is {f1: e1, ...}; allocation is never deferred (Sec. 3.8).
+type RecordLit struct {
+	Names []string
+	Vals  []Expr
+}
+
+// ArrayLit is [e1, e2, ...].
+type ArrayLit struct{ Elems []Expr }
+
+// Binop applies op ∈ {&&, ||, <, >, <=, >=, ==, !=, +, -, *}.
+type Binop struct {
+	Op   string
+	L, R Expr
+}
+
+// Unop is !e or -e.
+type Unop struct {
+	Op string // "!" or "-"
+	E  Expr
+}
+
+// Call invokes a declared function.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Builtin calls a runtime primitive: len(e), str(e), row(e, i), col(r, f).
+type Builtin struct {
+	Name string
+	Args []Expr
+}
+
+// Read is R(e): a database read query built from e's value.
+type Read struct{ Query Expr }
+
+func (*Const) expr()     {}
+func (*Var) expr()       {}
+func (*Field) expr()     {}
+func (*Index) expr()     {}
+func (*RecordLit) expr() {}
+func (*ArrayLit) expr()  {}
+func (*Binop) expr()     {}
+func (*Unop) expr()      {}
+func (*Call) expr()      {}
+func (*Builtin) expr()   {}
+func (*Read) expr()      {}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+// Skip does nothing.
+type Skip struct{}
+
+// Let introduces a variable.
+type Let struct {
+	Name string
+	Init Expr
+}
+
+// AssignVar is x := e.
+type AssignVar struct {
+	Name string
+	E    Expr
+}
+
+// AssignField is e1.f := e2 (receiver forced; value may stay a thunk).
+type AssignField struct {
+	Recv Expr
+	Name string
+	E    Expr
+}
+
+// AssignIndex is a[i] := e.
+type AssignIndex struct {
+	Arr Expr
+	Idx Expr
+	E   Expr
+}
+
+// If branches on a condition.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is the canonical while(True) loop after simplification; the parser
+// produces While{Cond} which the simplifier rewrites.
+type While struct {
+	Cond Expr // nil after simplification (true)
+	Body []Stmt
+}
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue restarts the innermost loop.
+type Continue struct{}
+
+// Return sets the function's result (the special @ variable of the paper's
+// appendix) and exits.
+type Return struct{ E Expr }
+
+// Write is W(e): a database write query (never deferred; flushes batches).
+type Write struct{ Query Expr }
+
+// Print renders a value to the program output — the externally visible
+// side effect that forces thunks.
+type Print struct{ E Expr }
+
+// ExprStmt evaluates an expression for effect (e.g. a call).
+type ExprStmt struct{ E Expr }
+
+func (*Skip) stmt()        {}
+func (*Let) stmt()         {}
+func (*AssignVar) stmt()   {}
+func (*AssignField) stmt() {}
+func (*AssignIndex) stmt() {}
+func (*If) stmt()          {}
+func (*While) stmt()       {}
+func (*Break) stmt()       {}
+func (*Continue) stmt()    {}
+func (*Return) stmt()      {}
+func (*Write) stmt()       {}
+func (*Print) stmt()       {}
+func (*ExprStmt) stmt()    {}
+
+// Func is one function declaration.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a set of functions; execution starts at main().
+type Program struct {
+	Funcs map[string]*Func
+	Order []string // declaration order, for deterministic reporting
+}
+
+// Main returns the entry function.
+func (p *Program) Main() (*Func, error) {
+	f, ok := p.Funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("lazyc: program has no main()")
+	}
+	return f, nil
+}

@@ -1,0 +1,778 @@
+package lazyc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/querystore"
+)
+
+// Options selects which Sec. 4 optimizations the lazy compiler applies.
+type Options struct {
+	// SC: selective compilation — non-persistent functions execute under
+	// standard (strict) semantics.
+	SC bool
+	// TC: thunk coalescing — runs of deferrable assignments share one
+	// thunk block.
+	TC bool
+	// BD: branch deferral — side-effect-free branches/loops defer whole.
+	BD bool
+}
+
+// AllOptimizations enables SC+TC+BD (the paper's default configuration).
+func AllOptimizations() Options { return Options{SC: true, TC: true, BD: true} }
+
+// CostModel charges lazy-evaluation overhead to the virtual clock so the
+// optimization ablation (Fig. 12) is measurable in modeled time.
+type CostModel struct {
+	PerThunk time.Duration
+	PerForce time.Duration
+}
+
+// DefaultCostModel mirrors the calibration in DESIGN.md. Thunk costs are
+// priced high enough relative to the 0.5 ms RTT that the Fig. 12 trade-off
+// is visible: selective compilation occasionally costs a round trip (a
+// strict call forces earlier) but wins it back many times over in avoided
+// allocations, as in the paper.
+func DefaultCostModel() CostModel {
+	return CostModel{PerThunk: 20 * time.Microsecond, PerForce: 4 * time.Microsecond}
+}
+
+// LazyStats counts lazy-evaluation activity.
+type LazyStats struct {
+	ThunkAllocs int64
+	Forces      int64
+	Queries     int64 // R()/W() statements reached
+	StrictFuncs int64 // calls executed strictly due to SC
+	Blocks      int64 // thunk blocks created by TC/BD
+}
+
+// lthunk is the lazy interpreter's thunk: a memoized delayed computation
+// with its captured environment folded into the closure (the (σ, e) pairs
+// of the formal semantics).
+type lthunk struct {
+	forced  bool
+	val     Value
+	compute func() (Value, error)
+}
+
+// LazyInterp evaluates programs under extended lazy semantics (Sec. 3.8)
+// with a query store for batching.
+type LazyInterp struct {
+	prog     *Program
+	analysis *Analysis
+	store    *querystore.Store
+	heap     *Heap
+	out      strings.Builder
+	opts     Options
+	clock    netsim.Clock
+	cost     CostModel
+	stats    LazyStats
+
+	steps    int64
+	maxSteps int64
+}
+
+// NewLazy creates a lazy interpreter. clock may be nil when modeled
+// overhead time is not needed.
+func NewLazy(prog *Program, store *querystore.Store, opts Options, clock netsim.Clock, cost CostModel) *LazyInterp {
+	if clock == nil {
+		clock = netsim.NewVirtualClock()
+	}
+	return &LazyInterp{
+		prog:     prog,
+		analysis: Analyze(prog),
+		store:    store,
+		heap:     &Heap{},
+		opts:     opts,
+		clock:    clock,
+		cost:     cost,
+		maxSteps: 5_000_000,
+	}
+}
+
+// Output returns everything printed so far.
+func (in *LazyInterp) Output() string { return in.out.String() }
+
+// Stats returns lazy-evaluation counters.
+func (in *LazyInterp) Stats() LazyStats { return in.stats }
+
+// Heap exposes the heap for equivalence checks.
+func (in *LazyInterp) Heap() *Heap { return in.heap }
+
+// Analysis exposes the static analysis results (Fig. 11 reporting).
+func (in *LazyInterp) Analysis() *Analysis { return in.analysis }
+
+// Run executes main() and finally flushes any still-pending queries (the
+// request boundary in the web setting).
+func (in *LazyInterp) Run() error {
+	main, err := in.prog.Main()
+	if err != nil {
+		return err
+	}
+	if _, err := in.callLazy(main, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (in *LazyInterp) step() error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return fmt.Errorf("lazyc: lazy step budget exhausted")
+	}
+	return nil
+}
+
+// newThunk allocates a thunk, charging the cost model.
+func (in *LazyInterp) newThunk(fn func() (Value, error)) *lthunk {
+	in.stats.ThunkAllocs++
+	in.clock.Advance(in.cost.PerThunk)
+	return &lthunk{compute: fn}
+}
+
+// force evaluates thunk chains to a plain value.
+func (in *LazyInterp) force(v Value) (Value, error) {
+	for {
+		t, ok := v.(*lthunk)
+		if !ok {
+			return v, nil
+		}
+		in.stats.Forces++
+		in.clock.Advance(in.cost.PerForce)
+		if !t.forced {
+			val, err := t.compute()
+			if err != nil {
+				return nil, err
+			}
+			t.val = val
+			t.forced = true
+			t.compute = nil
+		}
+		v = t.val
+	}
+}
+
+// deepForce forces v and, through heap references, every reachable thunk —
+// used by print (externally visible) and by the equivalence tests.
+func (in *LazyInterp) deepForce(v Value, seen map[Addr]bool) (Value, error) {
+	v, err := in.force(v)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := v.(Addr)
+	if !ok {
+		return v, nil
+	}
+	if seen == nil {
+		seen = make(map[Addr]bool)
+	}
+	if seen[a] {
+		return v, nil
+	}
+	seen[a] = true
+	obj, err := in.heap.Get(a)
+	if err != nil {
+		return nil, err
+	}
+	switch o := obj.(type) {
+	case record:
+		for k, fv := range o {
+			nv, err := in.deepForce(fv, seen)
+			if err != nil {
+				return nil, err
+			}
+			o[k] = nv
+		}
+	case []Value:
+		for i, ev := range o {
+			nv, err := in.deepForce(ev, seen)
+			if err != nil {
+				return nil, err
+			}
+			o[i] = nv
+		}
+	}
+	return v, nil
+}
+
+// ForceHeap forces every thunk reachable from the heap (equivalence tests
+// call this after Run, per the paper's theorem statement).
+func (in *LazyInterp) ForceHeap() error {
+	seen := make(map[Addr]bool)
+	for i := 0; i < in.heap.Len(); i++ {
+		if _, err := in.deepForce(Addr(i), seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Function calls.
+
+func (in *LazyInterp) callLazy(fn *Func, args []Value) (Value, error) {
+	if len(args) != len(fn.Params) {
+		return nil, fmt.Errorf("lazyc: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	env := make(map[string]Value, len(fn.Params)+4)
+	for i, p := range fn.Params {
+		env[p] = args[i]
+	}
+	ctl, ret, err := in.execBlock(env, fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if ctl == ctlBreak || ctl == ctlContinue {
+		return nil, fmt.Errorf("lazyc: break/continue escaped %s", fn.Name)
+	}
+	return ret, nil
+}
+
+// callStrict executes a function body under strict semantics with forced
+// arguments — the selective-compilation path for non-persistent functions.
+func (in *LazyInterp) callStrict(fn *Func, args []Value) (Value, error) {
+	in.stats.StrictFuncs++
+	forced := make([]Value, len(args))
+	for i, a := range args {
+		v, err := in.force(a)
+		if err != nil {
+			return nil, err
+		}
+		forced[i] = v
+	}
+	env := make(map[string]Value, len(fn.Params)+4)
+	for i, p := range fn.Params {
+		env[p] = forced[i]
+	}
+	ctl, ret, err := in.execStrictBlock(env, fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if ctl == ctlBreak || ctl == ctlContinue {
+		return nil, fmt.Errorf("lazyc: break/continue escaped %s", fn.Name)
+	}
+	return ret, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lazy statement execution.
+
+func (in *LazyInterp) execBlock(env map[string]Value, stmts []Stmt) (control, Value, error) {
+	i := 0
+	for i < len(stmts) {
+		s := stmts[i]
+		// Thunk coalescing: a marked run becomes a single block thunk.
+		if in.opts.TC {
+			if run, ok := in.analysis.RunStart[s]; ok {
+				in.execRun(env, stmts[i:i+run.Len], run)
+				i += run.Len
+				continue
+			}
+		}
+		ctl, ret, err := in.exec(env, s)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if ctl != ctlNone {
+			return ctl, ret, nil
+		}
+		i++
+	}
+	return ctlNone, nil, nil
+}
+
+// execRun defers a coalescible run as one thunk block: the run executes
+// strictly inside the block's force method (the compiled _force body of the
+// paper's ThunkBlock), and only live-out variables get output thunks.
+func (in *LazyInterp) execRun(env map[string]Value, run []Stmt, info *RunInfo) {
+	snapshot := copyEnv(env)
+	in.stats.Blocks++
+	blk := in.newThunk(func() (Value, error) {
+		if _, _, err := in.execStrictBlock(snapshot, run); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	for _, v := range info.Outputs {
+		name := v
+		env[name] = in.newThunk(func() (Value, error) {
+			if _, err := in.force(blk); err != nil {
+				return nil, err
+			}
+			out, ok := snapshot[name]
+			if !ok {
+				return nil, fmt.Errorf("lazyc: block output %q not produced", name)
+			}
+			return out, nil
+		})
+	}
+	// Variables assigned in the run but dead outside it need no thunk at
+	// all — the allocation saving that motivates the optimization.
+}
+
+func (in *LazyInterp) exec(env map[string]Value, s Stmt) (control, Value, error) {
+	if err := in.step(); err != nil {
+		return ctlNone, nil, err
+	}
+	switch st := s.(type) {
+	case *Skip:
+		return ctlNone, nil, nil
+	case *Let:
+		v, err := in.evalLazy(env, st.Init)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		env[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignVar:
+		if _, ok := env[st.Name]; !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: assignment to undeclared %q", st.Name)
+		}
+		v, err := in.evalLazy(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		env[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignField:
+		// Heap writes are not delayed: the receiver is forced, the stored
+		// value may remain a thunk (Sec. 3.5).
+		recvV, err := in.evalLazy(env, st.Recv)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		recv, err := in.force(recvV)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		a, ok := recv.(Addr)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: field write to non-record %T", recv)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		rec, ok := obj.(record)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: field write to %T", obj)
+		}
+		v, err := in.evalLazy(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		rec[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignIndex:
+		arrLazy, err := in.evalLazy(env, st.Arr)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		arrV, err := in.force(arrLazy)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		a, ok := arrV.(Addr)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: index write to non-array %T", arrV)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		arr, ok := obj.([]Value)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: index write to %T", obj)
+		}
+		idxLazy, err := in.evalLazy(env, st.Idx)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		idxV, err := in.force(idxLazy)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		i, ok := idxV.(int64)
+		if !ok || i < 0 || int(i) >= len(arr) {
+			return ctlNone, nil, fmt.Errorf("lazyc: index %v out of range", idxV)
+		}
+		v, err := in.evalLazy(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		arr[i] = v
+		return ctlNone, nil, nil
+	case *If:
+		if in.opts.BD && in.analysis.DeferrableBranch[s] {
+			in.deferBranch(env, s)
+			return ctlNone, nil, nil
+		}
+		condLazy, err := in.evalLazy(env, st.Cond)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		c, err := in.force(condLazy)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		b, err := truthy(c)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if b {
+			return in.execBlock(env, st.Then)
+		}
+		return in.execBlock(env, st.Else)
+	case *While:
+		if in.opts.BD && in.analysis.DeferrableBranch[s] {
+			in.deferBranch(env, s)
+			return ctlNone, nil, nil
+		}
+		for {
+			if err := in.step(); err != nil {
+				return ctlNone, nil, err
+			}
+			if st.Cond != nil {
+				condLazy, err := in.evalLazy(env, st.Cond)
+				if err != nil {
+					return ctlNone, nil, err
+				}
+				c, err := in.force(condLazy)
+				if err != nil {
+					return ctlNone, nil, err
+				}
+				b, err := truthy(c)
+				if err != nil {
+					return ctlNone, nil, err
+				}
+				if !b {
+					return ctlNone, nil, nil
+				}
+			}
+			ctl, ret, err := in.execBlock(env, st.Body)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+			switch ctl {
+			case ctlBreak:
+				return ctlNone, nil, nil
+			case ctlReturn:
+				return ctlReturn, ret, nil
+			}
+		}
+	case *Break:
+		return ctlBreak, nil, nil
+	case *Continue:
+		return ctlContinue, nil, nil
+	case *Return:
+		v, err := in.evalLazy(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		return ctlReturn, v, nil
+	case *Write:
+		qLazy, err := in.evalLazy(env, st.Query)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		q, err := in.force(qLazy)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		sql, ok := q.(string)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: W() needs a string query")
+		}
+		in.stats.Queries++
+		// The store flushes every pending read before the write, keeping
+		// statement order and transaction boundaries (Sec. 3.3).
+		if _, err := in.store.Exec(sql); err != nil {
+			return ctlNone, nil, err
+		}
+		return ctlNone, nil, nil
+	case *Print:
+		v, err := in.evalLazy(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		fv, err := in.deepForce(v, nil)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		in.out.WriteString(render(in.heap, fv))
+		in.out.WriteByte('\n')
+		return ctlNone, nil, nil
+	case *ExprStmt:
+		_, err := in.evalLazy(env, st.E)
+		return ctlNone, nil, err
+	default:
+		return ctlNone, nil, fmt.Errorf("lazyc: unknown statement %T", s)
+	}
+}
+
+// deferBranch wraps a deferrable If/While into one thunk block (Sec. 4.2).
+func (in *LazyInterp) deferBranch(env map[string]Value, s Stmt) {
+	snapshot := copyEnv(env)
+	in.stats.Blocks++
+	blk := in.newThunk(func() (Value, error) {
+		if _, _, err := in.execStrictBlock(snapshot, []Stmt{s}); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	for _, v := range in.analysis.BranchOutputs[s] {
+		name := v
+		env[name] = in.newThunk(func() (Value, error) {
+			if _, err := in.force(blk); err != nil {
+				return nil, err
+			}
+			out, ok := snapshot[name]
+			if !ok {
+				return nil, fmt.Errorf("lazyc: branch output %q not produced", name)
+			}
+			return out, nil
+		})
+	}
+}
+
+func copyEnv(env map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lazy expression evaluation.
+
+func (in *LazyInterp) evalLazy(env map[string]Value, e Expr) (Value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *Const:
+		return x.Val, nil
+	case *Var:
+		v, ok := env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("lazyc: undefined variable %q", x.Name)
+		}
+		return v, nil
+	case *Field:
+		// Field reads force the receiver and return the (possibly thunk)
+		// field value (Sec. 3.5).
+		recvLazy, err := in.evalLazy(env, x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		recv, err := in.force(recvLazy)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := recv.(Addr)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: field read of non-record %T", recv)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := obj.(record)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: field read of %T", obj)
+		}
+		return rec[x.Name], nil
+	case *Index:
+		arrLazy, err := in.evalLazy(env, x.Arr)
+		if err != nil {
+			return nil, err
+		}
+		arrV, err := in.force(arrLazy)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := arrV.(Addr)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: index of non-array %T", arrV)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := obj.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: index of %T", obj)
+		}
+		idxLazy, err := in.evalLazy(env, x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		idxV, err := in.force(idxLazy)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := idxV.(int64)
+		if !ok || i < 0 || int(i) >= len(arr) {
+			return nil, fmt.Errorf("lazyc: index %v out of range (%d)", idxV, len(arr))
+		}
+		return arr[i], nil
+	case *RecordLit:
+		// Allocation is immediate; field values stay lazy.
+		rec := make(record, len(x.Names))
+		for i, name := range x.Names {
+			v, err := in.evalLazy(env, x.Vals[i])
+			if err != nil {
+				return nil, err
+			}
+			rec[name] = v
+		}
+		return in.heap.Alloc(rec), nil
+	case *ArrayLit:
+		arr := make([]Value, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := in.evalLazy(env, el)
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = v
+		}
+		return in.heap.Alloc(arr), nil
+	case *Binop:
+		l, err := in.evalLazy(env, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.evalLazy(env, x.R)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return in.newThunk(func() (Value, error) {
+			lv, err := in.force(l)
+			if err != nil {
+				return nil, err
+			}
+			// Short-circuit at force time.
+			if op == "&&" || op == "||" {
+				lb, err := truthy(lv)
+				if err != nil {
+					return nil, err
+				}
+				if op == "&&" && !lb {
+					return false, nil
+				}
+				if op == "||" && lb {
+					return true, nil
+				}
+				rv, err := in.force(r)
+				if err != nil {
+					return nil, err
+				}
+				return truthyValue(rv)
+			}
+			rv, err := in.force(r)
+			if err != nil {
+				return nil, err
+			}
+			return applyBinop(op, lv, rv)
+		}), nil
+	case *Unop:
+		inner, err := in.evalLazy(env, x.E)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return in.newThunk(func() (Value, error) {
+			v, err := in.force(inner)
+			if err != nil {
+				return nil, err
+			}
+			return applyUnop(op, v)
+		}), nil
+	case *Call:
+		fn, ok := in.prog.Funcs[x.Fn]
+		if !ok {
+			return nil, fmt.Errorf("lazyc: call to undefined %q", x.Fn)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.evalLazy(env, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		// Selective compilation: non-persistent functions are compiled
+		// as-is and run strictly (Sec. 4.1).
+		if in.opts.SC && !in.analysis.Persistent[x.Fn] {
+			return in.callStrict(fn, args)
+		}
+		if in.analysis.Pure[x.Fn] {
+			// Internal pure call: the whole call defers (Sec. 3.4).
+			return in.newThunk(func() (Value, error) {
+				ret, err := in.callLazy(fn, args)
+				if err != nil {
+					return nil, err
+				}
+				return in.force(ret)
+			}), nil
+		}
+		// Impure internal call: executes now, with thunk arguments.
+		return in.callLazy(fn, args)
+	case *Builtin:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.evalLazy(env, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		name := x.Name
+		return in.newThunk(func() (Value, error) {
+			forced := make([]Value, len(args))
+			for i, a := range args {
+				v, err := in.force(a)
+				if err != nil {
+					return nil, err
+				}
+				forced[i] = v
+			}
+			return applyBuiltin(in.heap, name, forced)
+		}), nil
+	case *Read:
+		// The query string is forced NOW so the query can register with
+		// the store (the defining move of extended lazy evaluation); the
+		// result fetch is deferred (Sec. 3.3).
+		qLazy, err := in.evalLazy(env, x.Query)
+		if err != nil {
+			return nil, err
+		}
+		q, err := in.force(qLazy)
+		if err != nil {
+			return nil, err
+		}
+		sql, ok := q.(string)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: R() needs a string query")
+		}
+		in.stats.Queries++
+		id, err := in.store.Register(sql)
+		if err != nil {
+			return nil, err
+		}
+		return in.newThunk(func() (Value, error) {
+			rs, err := in.store.ResultSet(id)
+			if err != nil {
+				return nil, err
+			}
+			return resultToHeap(in.heap, rs), nil
+		}), nil
+	default:
+		return nil, fmt.Errorf("lazyc: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,355 @@
+package lazyc
+
+import "fmt"
+
+// This file is the strict executor embedded in the lazy interpreter. It
+// runs code that the compiler decided NOT to lazy-compile: bodies of
+// non-persistent functions under selective compilation, and the _force
+// bodies of thunk blocks created by thunk coalescing and branch deferral.
+// It shares the lazy interpreter's heap, output, and query store, and
+// forces any thunk it encounters (values flowing in from the lazy world).
+
+func (in *LazyInterp) execStrictBlock(env map[string]Value, stmts []Stmt) (control, Value, error) {
+	for _, s := range stmts {
+		ctl, ret, err := in.execStrict(env, s)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if ctl != ctlNone {
+			return ctl, ret, nil
+		}
+	}
+	return ctlNone, nil, nil
+}
+
+func (in *LazyInterp) execStrict(env map[string]Value, s Stmt) (control, Value, error) {
+	if err := in.step(); err != nil {
+		return ctlNone, nil, err
+	}
+	switch st := s.(type) {
+	case *Skip:
+		return ctlNone, nil, nil
+	case *Let:
+		v, err := in.evalStrict(env, st.Init)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		env[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignVar:
+		if _, ok := env[st.Name]; !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: assignment to undeclared %q", st.Name)
+		}
+		v, err := in.evalStrict(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		env[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignField:
+		recv, err := in.evalStrict(env, st.Recv)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		a, ok := recv.(Addr)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: field write to non-record %T", recv)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		rec, ok := obj.(record)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: field write to %T", obj)
+		}
+		v, err := in.evalStrict(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		rec[st.Name] = v
+		return ctlNone, nil, nil
+	case *AssignIndex:
+		arrV, err := in.evalStrict(env, st.Arr)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		a, ok := arrV.(Addr)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: index write to non-array %T", arrV)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		arr, ok := obj.([]Value)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: index write to %T", obj)
+		}
+		idxV, err := in.evalStrict(env, st.Idx)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		i, ok := idxV.(int64)
+		if !ok || i < 0 || int(i) >= len(arr) {
+			return ctlNone, nil, fmt.Errorf("lazyc: index %v out of range", idxV)
+		}
+		v, err := in.evalStrict(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		arr[i] = v
+		return ctlNone, nil, nil
+	case *If:
+		c, err := in.evalStrict(env, st.Cond)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		b, err := truthy(c)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		if b {
+			return in.execStrictBlock(env, st.Then)
+		}
+		return in.execStrictBlock(env, st.Else)
+	case *While:
+		for {
+			if err := in.step(); err != nil {
+				return ctlNone, nil, err
+			}
+			if st.Cond != nil {
+				c, err := in.evalStrict(env, st.Cond)
+				if err != nil {
+					return ctlNone, nil, err
+				}
+				b, err := truthy(c)
+				if err != nil {
+					return ctlNone, nil, err
+				}
+				if !b {
+					return ctlNone, nil, nil
+				}
+			}
+			ctl, ret, err := in.execStrictBlock(env, st.Body)
+			if err != nil {
+				return ctlNone, nil, err
+			}
+			switch ctl {
+			case ctlBreak:
+				return ctlNone, nil, nil
+			case ctlReturn:
+				return ctlReturn, ret, nil
+			}
+		}
+	case *Break:
+		return ctlBreak, nil, nil
+	case *Continue:
+		return ctlContinue, nil, nil
+	case *Return:
+		v, err := in.evalStrict(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		return ctlReturn, v, nil
+	case *Write:
+		q, err := in.evalStrict(env, st.Query)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		sql, ok := q.(string)
+		if !ok {
+			return ctlNone, nil, fmt.Errorf("lazyc: W() needs a string query")
+		}
+		in.stats.Queries++
+		if _, err := in.store.Exec(sql); err != nil {
+			return ctlNone, nil, err
+		}
+		return ctlNone, nil, nil
+	case *Print:
+		v, err := in.evalStrict(env, st.E)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		fv, err := in.deepForce(v, nil)
+		if err != nil {
+			return ctlNone, nil, err
+		}
+		in.out.WriteString(render(in.heap, fv))
+		in.out.WriteByte('\n')
+		return ctlNone, nil, nil
+	case *ExprStmt:
+		_, err := in.evalStrict(env, st.E)
+		return ctlNone, nil, err
+	default:
+		return ctlNone, nil, fmt.Errorf("lazyc: unknown statement %T", s)
+	}
+}
+
+func (in *LazyInterp) evalStrict(env map[string]Value, e Expr) (Value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *Const:
+		return x.Val, nil
+	case *Var:
+		v, ok := env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("lazyc: undefined variable %q", x.Name)
+		}
+		return in.force(v)
+	case *Field:
+		recv, err := in.evalStrict(env, x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := recv.(Addr)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: field read of non-record %T", recv)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := obj.(record)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: field read of %T", obj)
+		}
+		return in.force(rec[x.Name])
+	case *Index:
+		arrV, err := in.evalStrict(env, x.Arr)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := arrV.(Addr)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: index of non-array %T", arrV)
+		}
+		obj, err := in.heap.Get(a)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := obj.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: index of %T", obj)
+		}
+		idxV, err := in.evalStrict(env, x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := idxV.(int64)
+		if !ok || i < 0 || int(i) >= len(arr) {
+			return nil, fmt.Errorf("lazyc: index %v out of range (%d)", idxV, len(arr))
+		}
+		return in.force(arr[i])
+	case *RecordLit:
+		rec := make(record, len(x.Names))
+		for i, name := range x.Names {
+			v, err := in.evalStrict(env, x.Vals[i])
+			if err != nil {
+				return nil, err
+			}
+			rec[name] = v
+		}
+		return in.heap.Alloc(rec), nil
+	case *ArrayLit:
+		arr := make([]Value, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := in.evalStrict(env, el)
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = v
+		}
+		return in.heap.Alloc(arr), nil
+	case *Binop:
+		if x.Op == "&&" || x.Op == "||" {
+			l, err := in.evalStrict(env, x.L)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := truthy(l)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "&&" && !lb {
+				return false, nil
+			}
+			if x.Op == "||" && lb {
+				return true, nil
+			}
+			r, err := in.evalStrict(env, x.R)
+			if err != nil {
+				return nil, err
+			}
+			return truthyValue(r)
+		}
+		l, err := in.evalStrict(env, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.evalStrict(env, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinop(x.Op, l, r)
+	case *Unop:
+		v, err := in.evalStrict(env, x.E)
+		if err != nil {
+			return nil, err
+		}
+		return applyUnop(x.Op, v)
+	case *Call:
+		fn, ok := in.prog.Funcs[x.Fn]
+		if !ok {
+			return nil, fmt.Errorf("lazyc: call to undefined %q", x.Fn)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.evalStrict(env, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		// A strict context still respects the callee's compilation mode:
+		// persistent callees are lazy-compiled (they register queries),
+		// everything else runs strictly.
+		if in.opts.SC && !in.analysis.Persistent[x.Fn] {
+			return in.callStrict(fn, args)
+		}
+		ret, err := in.callLazy(fn, args)
+		if err != nil {
+			return nil, err
+		}
+		return in.force(ret)
+	case *Builtin:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.evalStrict(env, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return applyBuiltin(in.heap, x.Name, args)
+	case *Read:
+		q, err := in.evalStrict(env, x.Query)
+		if err != nil {
+			return nil, err
+		}
+		sql, ok := q.(string)
+		if !ok {
+			return nil, fmt.Errorf("lazyc: R() needs a string query")
+		}
+		in.stats.Queries++
+		rs, err := in.store.Exec(sql)
+		if err != nil {
+			return nil, err
+		}
+		return resultToHeap(in.heap, rs), nil
+	default:
+		return nil, fmt.Errorf("lazyc: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,204 @@
+package lazyc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file generates kernel-language programs standing in for the paper's
+// Java applications in the compiler experiments: application-scale call
+// graphs for the selective-compilation analysis (Fig. 11), and page-shaped
+// benchmark programs for the optimization ablation (Fig. 12).
+
+// SynthSpec sizes a synthetic application call graph.
+type SynthSpec struct {
+	// Funcs is the total number of functions (the paper's method counts:
+	// 9713 for OpenMRS, 2452 for itracker).
+	Funcs int
+	// BaseQueryFrac is the fraction of leaf-level functions that issue a
+	// query directly.
+	BaseQueryFrac float64
+	// CallsPerFunc is the average out-degree of the call graph.
+	CallsPerFunc int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// OpenMRSSpec approximates the OpenMRS code base of the paper (Fig. 11
+// reports 7616 persistent / 2097 non-persistent methods — 78% persistent).
+func OpenMRSSpec() SynthSpec {
+	return SynthSpec{Funcs: 9713, BaseQueryFrac: 0.30, CallsPerFunc: 3, Seed: 11}
+}
+
+// ItrackerSpec approximates itracker (2031 persistent / 421 non-persistent —
+// 83% persistent).
+func ItrackerSpec() SynthSpec {
+	return SynthSpec{Funcs: 2452, BaseQueryFrac: 0.35, CallsPerFunc: 3, Seed: 13}
+}
+
+// SyntheticCallGraph builds a program whose call-graph shape mimics a
+// layered web application: leaf data-access helpers (some issuing queries),
+// mid-tier service methods calling helpers, and controller methods calling
+// services. main() calls a few controllers so the program is well formed.
+func SyntheticCallGraph(spec SynthSpec) *Program {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	prog := &Program{Funcs: make(map[string]*Func, spec.Funcs+1)}
+
+	n := spec.Funcs
+	leafEnd := n / 5 // bottom layer: data-access and utility leaves
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%d", i)
+		fn := &Func{Name: name, Params: []string{"a"}}
+		if i < leafEnd {
+			if rng.Float64() < spec.BaseQueryFrac {
+				// Data-access leaf: issues a query.
+				fn.Body = []Stmt{
+					&Let{Name: "r", Init: &Read{Query: &Binop{Op: "+",
+						L: &Const{Val: "SELECT v FROM t WHERE id = "},
+						R: &Builtin{Name: "str", Args: []Expr{&Var{Name: "a"}}}}}},
+					&Return{E: &Builtin{Name: "len", Args: []Expr{&Var{Name: "r"}}}},
+				}
+			} else {
+				// Pure computational leaf (formatting, validation, ...).
+				fn.Body = []Stmt{
+					&Let{Name: "x", Init: &Binop{Op: "*", L: &Var{Name: "a"}, R: &Const{Val: int64(2)}}},
+					&Return{E: &Binop{Op: "+", L: &Var{Name: "x"}, R: &Const{Val: int64(1)}}},
+				}
+			}
+		} else {
+			// Mid/upper tier: call 1..CallsPerFunc*2 lower functions.
+			nCalls := 1 + rng.Intn(spec.CallsPerFunc*2)
+			var body []Stmt
+			body = append(body, &Let{Name: "acc", Init: &Const{Val: int64(0)}})
+			for c := 0; c < nCalls; c++ {
+				callee := fmt.Sprintf("m%d", rng.Intn(i))
+				body = append(body, &AssignVar{Name: "acc", E: &Binop{Op: "+",
+					L: &Var{Name: "acc"},
+					R: &Call{Fn: callee, Args: []Expr{&Var{Name: "a"}}}}})
+			}
+			body = append(body, &Return{E: &Var{Name: "acc"}})
+			fn.Body = body
+		}
+		prog.Funcs[name] = fn
+		prog.Order = append(prog.Order, name)
+	}
+
+	main := &Func{Name: "main"}
+	for i := 0; i < 3; i++ {
+		callee := fmt.Sprintf("m%d", n-1-i)
+		main.Body = append(main.Body, &Print{E: &Call{Fn: callee, Args: []Expr{&Const{Val: int64(i + 1)}}}})
+	}
+	prog.Funcs["main"] = main
+	prog.Order = append(prog.Order, "main")
+	return prog
+}
+
+// PersistenceCounts runs the selective-compilation analysis and reports
+// (persistent, non-persistent) function counts, excluding main — the
+// numbers Fig. 11 tabulates.
+func PersistenceCounts(prog *Program) (persistent, nonPersistent int) {
+	a := Analyze(prog)
+	for name := range prog.Funcs {
+		if name == "main" {
+			continue
+		}
+		if a.Persistent[name] {
+			persistent++
+		} else {
+			nonPersistent++
+		}
+	}
+	return persistent, nonPersistent
+}
+
+// BenchmarkPageSources returns the kernel-language benchmark programs used
+// by the optimization ablation (Fig. 12). Each mimics one page-load shape
+// from the evaluation applications: a query preamble, pure formatting
+// helpers (selective-compilation fodder), temporaries in arithmetic chains
+// (thunk-coalescing fodder), and branches free of side effects
+// (branch-deferral fodder).
+func BenchmarkPageSources() map[string]string {
+	pages := map[string]string{
+		"dashboard": `
+fn fmtRow(v) { let a = v * 3; let b = a + 7; let c = b - v; let d = c * 2; return d; }
+fn severity(v) { let s = 0; if (v > 100) { s = 3; } else { s = 1; } return s; }
+fn main() {
+  let user = R("SELECT v FROM t WHERE id = 1");
+  let uid = col(row(user, 0), "v");
+  let rows = R("SELECT id, v FROM t ORDER BY id");
+  let i = 0;
+  let total = 0;
+  while (i < len(rows)) {
+    let v = col(row(rows, i), "v");
+    let f = fmtRow(v);
+    let g = f + uid;
+    let h = g * 2;
+    total = total + h;
+    i = i + 1;
+  }
+  let tag = 0;
+  if (total > 50) { tag = 1; } else { tag = 2; }
+  print(total + tag);
+}`,
+		"listing": `
+fn label(n) { let a = n + 1; let b = a * a; let c = b - n; return c; }
+fn main() {
+  let q1 = R("SELECT v FROM t WHERE id = 1");
+  let q2 = R("SELECT v FROM t WHERE id = 2");
+  let q3 = R("SELECT v FROM t WHERE id = 3");
+  let q4 = R("SELECT v FROM t WHERE id = 4");
+  let a = col(row(q1, 0), "v");
+  let b = col(row(q2, 0), "v");
+  let c = col(row(q3, 0), "v");
+  let d = col(row(q4, 0), "v");
+  let s1 = a + b;
+  let s2 = s1 + c;
+  let s3 = s2 + d;
+  let s4 = s3 * 2;
+  let k = label(s4);
+  let m = 0;
+  if (k > 10) { m = k - 10; } else { m = k; }
+  print(m);
+}`,
+		"report": `
+fn score(x, y) { let p = x * y; let q = p + x; let r = q - y; return r; }
+fn main() {
+  let cfg = R("SELECT v FROM t WHERE id = 5");
+  let base = col(row(cfg, 0), "v");
+  let i = 0;
+  let acc = 0;
+  while (i < 6) {
+    let t1 = i * 2;
+    let t2 = t1 + base;
+    let t3 = t2 * 3;
+    let t4 = t3 - i;
+    acc = acc + score(t4, i + 1);
+    i = i + 1;
+  }
+  let flag = 0;
+  if (acc > 1000) { flag = 1; } else { flag = 0; }
+  let rows = R("SELECT id FROM t WHERE v > 10");
+  print(acc + flag + len(rows));
+}`,
+		"detail": `
+fn clamp(v) { let x = v; if (x > 99) { x = 99; } if (x < 0) { x = 0; } return x; }
+fn main() {
+  let head = R("SELECT v FROM t WHERE id = 2");
+  let hv = col(row(head, 0), "v");
+  let c1 = clamp(hv);
+  let c2 = clamp(c1 + 10);
+  let c3 = clamp(c2 * 2);
+  let extra = R("SELECT v FROM t WHERE id = 3");
+  let sum = c3 + col(row(extra, 0), "v");
+  let trail = 0;
+  if (sum > 20) { trail = sum - 20; } else { trail = 20 - sum; }
+  print(trail);
+}`,
+	}
+	out := make(map[string]string, len(pages))
+	for k, v := range pages {
+		out[k] = strings.TrimSpace(v)
+	}
+	return out
+}

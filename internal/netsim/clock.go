@@ -1,0 +1,77 @@
+// Package netsim provides a simulated network substrate for the Sloth
+// reproduction. The paper's experiments are functions of round-trip counts
+// multiplied by link latency plus server-side costs; netsim reproduces that
+// arithmetic on a virtual clock so the full benchmark suite runs
+// deterministically and in seconds rather than hours.
+//
+// Two clock implementations are provided: VirtualClock, which advances time
+// instantaneously and is used by the experiment harness, and RealClock,
+// which sleeps for real wall time and is used by latency-sensitive examples.
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time so experiments can run on simulated
+// time while examples may run on wall time.
+type Clock interface {
+	// Now returns the current time as an offset from the clock's epoch.
+	Now() time.Duration
+	// Advance moves the clock forward by d. On a real clock this sleeps.
+	Advance(d time.Duration)
+}
+
+// VirtualClock is a thread-safe simulated clock. Advancing it is free; Now
+// reports the accumulated virtual time. The zero value is ready to use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock returns a virtual clock starting at zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now reports the accumulated virtual time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d. Negative durations are ignored.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// RealClock advances by sleeping, for demos that want observable latency.
+type RealClock struct {
+	mu    sync.Mutex
+	epoch time.Time
+	once  sync.Once
+}
+
+// NewRealClock returns a clock backed by the wall clock.
+func NewRealClock() *RealClock { return &RealClock{} }
+
+func (c *RealClock) init() { c.once.Do(func() { c.epoch = time.Now() }) }
+
+// Now reports wall time elapsed since the first use of the clock.
+func (c *RealClock) Now() time.Duration {
+	c.init()
+	return time.Since(c.epoch)
+}
+
+// Advance sleeps for d.
+func (c *RealClock) Advance(d time.Duration) {
+	c.init()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link models the network path between the application server and the
+// database server: a fixed round-trip latency plus a per-byte transfer cost.
+// Every database interaction in the reproduction flows through a Link, so
+// the link's counters are the ground truth for the paper's round-trip
+// metrics (Figs. 5b, 6b) and for the network share of the time breakdown
+// (Fig. 8).
+type Link struct {
+	mu sync.Mutex
+
+	clock   Clock
+	rtt     time.Duration
+	perByte time.Duration
+
+	roundTrips int64
+	bytesSent  int64
+	bytesRecv  int64
+	netTime    time.Duration
+}
+
+// LinkStats is a snapshot of a link's accounting counters.
+type LinkStats struct {
+	RoundTrips int64
+	BytesSent  int64
+	BytesRecv  int64
+	// NetTime is the total virtual time spent traversing the link.
+	NetTime time.Duration
+}
+
+// NewLink creates a link with the given round-trip latency. The paper's
+// configurations are 0.5ms (same data center), 1ms, and 10ms (wide area).
+func NewLink(clock Clock, rtt time.Duration) *Link {
+	return &Link{clock: clock, rtt: rtt, perByte: 0}
+}
+
+// SetPerByte sets the per-byte serialization/transfer cost. Zero (the
+// default) models a latency-dominated link, which matches the paper's
+// setting where payloads are small relative to latency.
+func (l *Link) SetPerByte(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.perByte = d
+}
+
+// RTT reports the configured round-trip latency.
+func (l *Link) RTT() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rtt
+}
+
+// SetRTT reconfigures the round-trip latency (used by the network scaling
+// experiment, Fig. 9).
+func (l *Link) SetRTT(rtt time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rtt = rtt
+}
+
+// RoundTrip charges one full round trip carrying reqBytes of request payload
+// and respBytes of response payload, advancing the clock accordingly. It
+// returns the time charged.
+func (l *Link) RoundTrip(reqBytes, respBytes int) time.Duration {
+	l.mu.Lock()
+	cost := l.rtt + time.Duration(reqBytes+respBytes)*l.perByte
+	l.roundTrips++
+	l.bytesSent += int64(reqBytes)
+	l.bytesRecv += int64(respBytes)
+	l.netTime += cost
+	clock := l.clock
+	l.mu.Unlock()
+	clock.Advance(cost)
+	return cost
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LinkStats{
+		RoundTrips: l.roundTrips,
+		BytesSent:  l.bytesSent,
+		BytesRecv:  l.bytesRecv,
+		NetTime:    l.netTime,
+	}
+}
+
+// ResetStats zeroes the counters without touching the configuration. The
+// benchmark harness resets between page loads.
+func (l *Link) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.roundTrips = 0
+	l.bytesSent = 0
+	l.bytesRecv = 0
+	l.netTime = 0
+}
+
+// String summarizes the link configuration and counters.
+func (l *Link) String() string {
+	s := l.Stats()
+	return fmt.Sprintf("link{rtt=%v trips=%d sent=%dB recv=%dB}", l.RTT(), s.RoundTrips, s.BytesSent, s.BytesRecv)
+}

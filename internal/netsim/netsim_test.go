@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockStartsAtZero(t *testing.T) {
+	c := NewVirtualClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", got)
+	}
+}
+
+func TestVirtualClockIgnoresNegative(t *testing.T) {
+	c := NewVirtualClock()
+	c.Advance(time.Millisecond)
+	c.Advance(-time.Second)
+	if got := c.Now(); got != time.Millisecond {
+		t.Fatalf("Now() = %v, want 1ms", got)
+	}
+}
+
+func TestVirtualClockConcurrentAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*perWorker) * time.Microsecond
+	if got := c.Now(); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestLinkRoundTripChargesRTT(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, 500*time.Microsecond)
+	cost := l.RoundTrip(100, 200)
+	if cost != 500*time.Microsecond {
+		t.Fatalf("RoundTrip cost = %v, want 500µs", cost)
+	}
+	if got := c.Now(); got != 500*time.Microsecond {
+		t.Fatalf("clock = %v, want 500µs", got)
+	}
+}
+
+func TestLinkPerByteCost(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Millisecond)
+	l.SetPerByte(time.Microsecond)
+	cost := l.RoundTrip(10, 20)
+	want := time.Millisecond + 30*time.Microsecond
+	if cost != want {
+		t.Fatalf("RoundTrip cost = %v, want %v", cost, want)
+	}
+}
+
+func TestLinkStatsAccumulate(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Millisecond)
+	l.RoundTrip(10, 20)
+	l.RoundTrip(1, 2)
+	s := l.Stats()
+	if s.RoundTrips != 2 {
+		t.Errorf("RoundTrips = %d, want 2", s.RoundTrips)
+	}
+	if s.BytesSent != 11 {
+		t.Errorf("BytesSent = %d, want 11", s.BytesSent)
+	}
+	if s.BytesRecv != 22 {
+		t.Errorf("BytesRecv = %d, want 22", s.BytesRecv)
+	}
+	if s.NetTime != 2*time.Millisecond {
+		t.Errorf("NetTime = %v, want 2ms", s.NetTime)
+	}
+}
+
+func TestLinkResetStats(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Millisecond)
+	l.RoundTrip(10, 20)
+	l.ResetStats()
+	s := l.Stats()
+	if s.RoundTrips != 0 || s.BytesSent != 0 || s.BytesRecv != 0 || s.NetTime != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	if l.RTT() != time.Millisecond {
+		t.Fatalf("RTT changed by ResetStats: %v", l.RTT())
+	}
+}
+
+func TestLinkSetRTT(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Millisecond)
+	l.SetRTT(10 * time.Millisecond)
+	if got := l.RoundTrip(0, 0); got != 10*time.Millisecond {
+		t.Fatalf("RoundTrip after SetRTT = %v, want 10ms", got)
+	}
+}
+
+func TestLinkConcurrentRoundTrips(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Microsecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				l.RoundTrip(1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := l.Stats(); s.RoundTrips != 1000 {
+		t.Fatalf("RoundTrips = %d, want 1000", s.RoundTrips)
+	}
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	c := NewRealClock()
+	before := c.Now()
+	c.Advance(2 * time.Millisecond)
+	after := c.Now()
+	if after-before < 2*time.Millisecond {
+		t.Fatalf("RealClock advanced %v, want >= 2ms", after-before)
+	}
+}

@@ -1,0 +1,78 @@
+// Package orm is the reproduction's Hibernate/JPA stand-in: reflection-based
+// entity mapping over the SQL driver, sessions with an identity map (first-
+// level cache), associations with lazy and eager fetch strategies (paper
+// Sec. 1), and the Sloth JPA extensions — entity-returning calls that hand
+// back thunks registered with the query store instead of executing
+// immediately (paper Sec. 5, "JPA Extensions").
+//
+// Application code is written once against the lazy API. Under
+// ModeOriginal every call executes immediately in its own round trip
+// (conventional ORM behaviour, including eager-fetch cascades); under
+// ModeSloth calls register queries with the session's query store and
+// return unforced thunks, so queries accumulate into batches.
+package orm
+
+import "repro/internal/thunk"
+
+// res carries a deferred value together with its deferred error.
+type res[T any] struct {
+	val T
+	err error
+}
+
+// Lazy is a lazily-produced value of type T. In ModeOriginal the value is
+// already computed; in ModeSloth forcing it may flush a query batch. Lazy
+// implements thunk.Any so it can flow through model maps and the thunk-
+// aware view writer without being evaluated.
+type Lazy[T any] struct {
+	th *thunk.Thunk[res[T]]
+}
+
+// lazyOf wraps a computation.
+func lazyOf[T any](fn func() (T, error)) Lazy[T] {
+	return Lazy[T]{th: thunk.New(func() res[T] {
+		v, err := fn()
+		return res[T]{val: v, err: err}
+	})}
+}
+
+// lazyDone wraps an already-computed value (the ModeOriginal case,
+// mirroring the paper's LiteralThunk).
+func lazyDone[T any](v T, err error) Lazy[T] {
+	return Lazy[T]{th: thunk.Lit(res[T]{val: v, err: err})}
+}
+
+// Get forces the value.
+func (l Lazy[T]) Get() (T, error) {
+	r := l.th.Force()
+	return r.val, r.err
+}
+
+// Must forces the value, panicking on error; for fixtures and views whose
+// queries are statically known to be valid.
+func (l Lazy[T]) Must() T {
+	r := l.th.Force()
+	if r.err != nil {
+		panic(r.err)
+	}
+	return r.val
+}
+
+// Forced reports whether the value has been computed.
+func (l Lazy[T]) Forced() bool { return l.th.Forced() }
+
+// ForceAny implements thunk.Any. Errors surface as panics at the force
+// point, which the web framework converts into a rendering error.
+func (l Lazy[T]) ForceAny() any { return l.Must() }
+
+// Map derives a lazy value from l without forcing it.
+func Map[T, U any](l Lazy[T], f func(T) U) Lazy[U] {
+	return lazyOf(func() (U, error) {
+		v, err := l.Get()
+		if err != nil {
+			var zero U
+			return zero, err
+		}
+		return f(v), nil
+	})
+}

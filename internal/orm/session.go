@@ -1,0 +1,248 @@
+package orm
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/querystore"
+	"repro/internal/sqldb"
+)
+
+// Mode selects the execution strategy for a session.
+type Mode int
+
+const (
+	// ModeOriginal is conventional ORM behaviour: every data access
+	// executes immediately in its own round trip, and eager-fetch
+	// associations cascade at load time.
+	ModeOriginal Mode = iota
+	// ModeSloth registers queries with the query store and returns
+	// unforced thunks; batches flush when a result is demanded or a write
+	// is issued.
+	ModeSloth
+)
+
+// SessionStats counts ORM-level activity.
+type SessionStats struct {
+	Loads        int64 // entity load calls
+	IdentityHits int64 // loads served from the identity map
+	Deserialized int64 // entities materialized from rows
+	EagerLoads   int64 // cascade queries issued (ModeOriginal only)
+}
+
+// Session is one request's ORM context: a connection (via the query store),
+// an execution mode, and the identity map. Not safe for concurrent use,
+// like a Hibernate session.
+type Session struct {
+	store    *querystore.Store
+	mode     Mode
+	identity map[string]map[int64]any
+	stats    SessionStats
+}
+
+// NewSession opens a session in the given mode over a query store.
+func NewSession(store *querystore.Store, mode Mode) *Session {
+	return &Session{
+		store:    store,
+		mode:     mode,
+		identity: make(map[string]map[int64]any),
+	}
+}
+
+// Mode reports the session's execution mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// Sloth reports whether the session defers queries.
+func (s *Session) Sloth() bool { return s.mode == ModeSloth }
+
+// Store exposes the session's query store.
+func (s *Session) Store() *querystore.Store { return s.store }
+
+// Conn exposes the underlying driver connection.
+func (s *Session) Conn() *driver.Conn { return s.store.Conn() }
+
+// Stats snapshots session counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Clear drops the identity map (like EntityManager.clear).
+func (s *Session) Clear() { s.identity = make(map[string]map[int64]any) }
+
+func (s *Session) identityGet(table string, pk int64) (any, bool) {
+	byPK, ok := s.identity[table]
+	if !ok {
+		return nil, false
+	}
+	e, ok := byPK[pk]
+	return e, ok
+}
+
+func (s *Session) identityPut(table string, pk int64, e any) {
+	byPK, ok := s.identity[table]
+	if !ok {
+		byPK = make(map[int64]any)
+		s.identity[table] = byPK
+	}
+	byPK[pk] = e
+}
+
+// read evaluates a SELECT according to the session mode: immediately under
+// ModeOriginal, or lazily through the query store under ModeSloth. The
+// returned function retrieves the result (forcing the batch if deferred).
+func (s *Session) read(sql string, args ...sqldb.Value) func() (*sqldb.ResultSet, error) {
+	if s.mode == ModeOriginal {
+		rs, err := s.store.Conn().Query(sql, args...)
+		return func() (*sqldb.ResultSet, error) { return rs, err }
+	}
+	id, err := s.store.Register(sql, args...)
+	if err != nil {
+		return func() (*sqldb.ResultSet, error) { return nil, err }
+	}
+	return func() (*sqldb.ResultSet, error) { return s.store.ResultSet(id) }
+}
+
+// write executes a mutating statement. Under ModeSloth the registration
+// flushes the pending batch first, preserving order (paper Sec. 3.3).
+func (s *Session) write(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	if s.mode == ModeOriginal {
+		return s.store.Conn().Query(sql, args...)
+	}
+	return s.store.Exec(sql, args...)
+}
+
+// Find loads the entity with the given primary key. Under ModeSloth the
+// returned Lazy is unforced: the SELECT is registered but not executed.
+// Under ModeOriginal the query runs now and eager cascades fire.
+func (m *Meta[T]) Find(s *Session, id int64) Lazy[*T] {
+	s.stats.Loads++
+	if e, ok := s.identityGet(m.table, id); ok {
+		s.stats.IdentityHits++
+		return lazyDone(e.(*T), nil)
+	}
+	sql := m.selectSQL(m.PKColumn() + " = ?")
+	get := s.read(sql, id)
+	make1 := func() (*T, error) {
+		rs, err := get()
+		if err != nil {
+			return nil, err
+		}
+		es, err := m.deserialize(s, rs)
+		if err != nil {
+			return nil, err
+		}
+		if len(es) == 0 {
+			return nil, fmt.Errorf("orm: %s id %d not found", m.table, id)
+		}
+		m.runEagerCascades(s, es[:1])
+		return es[0], nil
+	}
+	if s.mode == ModeOriginal {
+		return lazyDone(make1())
+	}
+	return lazyOf(make1)
+}
+
+// FindNow loads an entity and forces it immediately — what application code
+// does when it needs the value to build the next query (the p._force() in
+// the paper's Fig. 2).
+func (m *Meta[T]) FindNow(s *Session, id int64) (*T, error) {
+	return m.Find(s, id).Get()
+}
+
+// Where loads all entities matching the condition (SQL after WHERE, with
+// `?` params).
+func (m *Meta[T]) Where(s *Session, cond string, args ...sqldb.Value) Lazy[[]*T] {
+	s.stats.Loads++
+	get := s.read(m.selectSQL(cond), args...)
+	makeAll := func() ([]*T, error) {
+		rs, err := get()
+		if err != nil {
+			return nil, err
+		}
+		es, err := m.deserialize(s, rs)
+		if err != nil {
+			return nil, err
+		}
+		m.runEagerCascades(s, es)
+		return es, nil
+	}
+	if s.mode == ModeOriginal {
+		return lazyDone(makeAll())
+	}
+	return lazyOf(makeAll)
+}
+
+// All loads every entity of the type.
+func (m *Meta[T]) All(s *Session) Lazy[[]*T] { return m.Where(s, "") }
+
+// CountWhere returns the number of rows matching cond.
+func (m *Meta[T]) CountWhere(s *Session, cond string, args ...sqldb.Value) Lazy[int64] {
+	sql := "SELECT COUNT(*) AS n FROM " + m.table
+	if cond != "" {
+		sql += " WHERE " + cond
+	}
+	get := s.read(sql, args...)
+	count := func() (int64, error) {
+		rs, err := get()
+		if err != nil {
+			return 0, err
+		}
+		return rs.Int(0, "n")
+	}
+	if s.mode == ModeOriginal {
+		return lazyDone(count())
+	}
+	return lazyOf(count)
+}
+
+// Insert stores a new entity. Writes are never deferred.
+func (m *Meta[T]) Insert(s *Session, e *T) error {
+	placeholders := make([]byte, 0, 2*len(m.cols))
+	for i := range m.cols {
+		if i > 0 {
+			placeholders = append(placeholders, ',', ' ')
+		}
+		placeholders = append(placeholders, '?')
+	}
+	sql := "INSERT INTO " + m.table + " (" + m.selList + ") VALUES (" + string(placeholders) + ")"
+	if _, err := s.write(sql, m.values(e)...); err != nil {
+		return err
+	}
+	s.identityPut(m.table, m.pkOf(e), e)
+	return nil
+}
+
+// Update flushes the entity's current field values to the database.
+func (m *Meta[T]) Update(s *Session, e *T) error {
+	var sets []byte
+	args := make([]sqldb.Value, 0, len(m.cols))
+	vals := m.values(e)
+	for i, c := range m.cols {
+		if i == m.pkIdx {
+			continue
+		}
+		if len(sets) > 0 {
+			sets = append(sets, ", "...)
+		}
+		sets = append(sets, (c.name + " = ?")...)
+		args = append(args, vals[i])
+	}
+	args = append(args, m.pkOf(e))
+	sql := "UPDATE " + m.table + " SET " + string(sets) + " WHERE " + m.PKColumn() + " = ?"
+	_, err := s.write(sql, args...)
+	return err
+}
+
+// Delete removes the entity with the given primary key.
+func (m *Meta[T]) Delete(s *Session, id int64) error {
+	_, err := s.write("DELETE FROM "+m.table+" WHERE "+m.PKColumn()+" = ?", id)
+	if byPK, ok := s.identity[m.table]; ok {
+		delete(byPK, id)
+	}
+	return err
+}
+
+// Begin / Commit / Rollback forward transaction control through the store,
+// which flushes pending reads first (transaction-boundary preservation).
+func (s *Session) Begin() error    { _, err := s.write("BEGIN"); return err }
+func (s *Session) Commit() error   { _, err := s.write("COMMIT"); return err }
+func (s *Session) Rollback() error { _, err := s.write("ROLLBACK"); return err }

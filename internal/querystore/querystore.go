@@ -1,0 +1,254 @@
+// Package querystore implements the query store at the core of Sloth
+// (paper Sec. 3.3): the runtime component that accumulates queries issued
+// during lazy evaluation into batches, executes a whole batch in a single
+// round trip when any of its results is demanded, and caches result sets so
+// repeated forces never re-issue a query.
+//
+// The store enforces the paper's semantics-preserving rules:
+//
+//   - RegisterQuery(read) appends to the current batch and returns an id;
+//     if the identical statement is already pending, the existing id is
+//     returned (dedup within the batch).
+//   - RegisterQuery(write) — INSERT, UPDATE, DELETE, BEGIN, COMMIT,
+//     ROLLBACK, DDL — causes the current batch, including the write, to be
+//     sent immediately, preserving statement order and transaction
+//     boundaries.
+//   - GetResultSet(id) returns the cached result if the id's batch already
+//     ran, and otherwise flushes the pending batch in one round trip.
+package querystore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/thunk"
+)
+
+// QueryID identifies a registered query within its store.
+type QueryID int64
+
+// Config adjusts store behaviour. The zero value is the paper's
+// configuration; the knobs exist for the ablation benchmarks.
+type Config struct {
+	// DisableDedup turns off within-batch duplicate elimination.
+	DisableDedup bool
+	// BatchCap, when positive, flushes the pending batch once it reaches
+	// this many statements — the size-triggered execution strategy the
+	// paper sketches as future work (Sec. 6.7).
+	BatchCap int
+}
+
+// Stats counts store activity for the experiment harness.
+type Stats struct {
+	Registered    int64 // Register calls (after dedup)
+	DedupHits     int64 // Register calls answered with an existing id
+	Executed      int64 // statements actually sent to the database
+	Batches       int64 // batches flushed
+	MaxBatch      int   // largest batch size flushed
+	ForcedByWrite int64 // flushes triggered by a write registration
+}
+
+// pending is one statement waiting in the current batch.
+type pending struct {
+	id   QueryID
+	stmt driver.Stmt
+}
+
+// Store is a per-request (per-session) query store. It is not safe for
+// concurrent use: Sloth's execution model is one request thread evaluating
+// its own lazy computation, matching the paper's per-client batching.
+type Store struct {
+	conn   *driver.Conn
+	cfg    Config
+	queue  []pending
+	bySQL  map[string]QueryID // dedup key -> pending id
+	cache  map[QueryID]*sqldb.ResultSet
+	nextID QueryID
+	stats  Stats
+}
+
+// New creates a query store over an established connection.
+func New(conn *driver.Conn, cfg Config) *Store {
+	return &Store{
+		conn:  conn,
+		cfg:   cfg,
+		bySQL: make(map[string]QueryID),
+		cache: make(map[QueryID]*sqldb.ResultSet),
+	}
+}
+
+// Conn returns the underlying connection.
+func (s *Store) Conn() *driver.Conn { return s.conn }
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (the cache and pending queue are kept).
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// PendingLen reports the size of the unexecuted batch.
+func (s *Store) PendingLen() int { return len(s.queue) }
+
+// dedupKey canonicalizes a statement for duplicate detection. It sits on
+// the per-registration hot path (the Sec. 6.6 overhead), so it avoids the
+// general value formatter.
+func dedupKey(st driver.Stmt) string {
+	if len(st.Args) == 0 {
+		return st.SQL
+	}
+	var sb strings.Builder
+	sb.Grow(len(st.SQL) + 12*len(st.Args))
+	sb.WriteString(st.SQL)
+	for _, a := range st.Args {
+		sb.WriteByte('\x1f')
+		switch v := sqldb.Normalize(a).(type) {
+		case nil:
+			sb.WriteString("~")
+		case int64:
+			sb.WriteString(strconv.FormatInt(v, 10))
+		case string:
+			sb.WriteString(v)
+		case float64:
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			if v {
+				sb.WriteByte('T')
+			} else {
+				sb.WriteByte('F')
+			}
+		default:
+			sb.WriteString(sqldb.Format(v))
+		}
+	}
+	return sb.String()
+}
+
+// Register adds a query to the store per the paper's RegisterQuery rules
+// and returns its id. Write statements flush the batch immediately; the
+// returned id's result is then already available.
+func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
+	// Lightweight keyword classification keeps registration off the full
+	// parser: the statement is parsed once, server-side, at flush time.
+	// Malformed SQL classifies as a write, flushes immediately, and the
+	// execution error surfaces here.
+	isWrite := sqlparse.IsWriteSQL(sql)
+	st := driver.Stmt{SQL: sql, Args: args}
+
+	if !isWrite && !s.cfg.DisableDedup {
+		if id, ok := s.bySQL[dedupKey(st)]; ok {
+			s.stats.DedupHits++
+			return id, nil
+		}
+	}
+
+	id := s.nextID
+	s.nextID++
+	s.queue = append(s.queue, pending{id: id, stmt: st})
+	s.stats.Registered++
+	if !isWrite {
+		if !s.cfg.DisableDedup {
+			s.bySQL[dedupKey(st)] = id
+		}
+		if s.cfg.BatchCap > 0 && len(s.queue) >= s.cfg.BatchCap {
+			if err := s.Flush(); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+
+	// Writes force the whole batch out now, in order, so updates are never
+	// left lingering in the query store (Sec. 3.3) and transaction
+	// boundaries hold.
+	s.stats.ForcedByWrite++
+	if err := s.Flush(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// ResultSet returns the result for id, flushing the pending batch in a
+// single round trip if the result is not yet cached.
+func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
+	if rs, ok := s.cache[id]; ok {
+		return rs, nil
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	rs, ok := s.cache[id]
+	if !ok {
+		return nil, fmt.Errorf("querystore: unknown query id %d", id)
+	}
+	return rs, nil
+}
+
+// Flush sends every pending statement to the database in one round trip
+// and caches the results. A flush with an empty queue is a no-op.
+func (s *Store) Flush() error {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	batch := s.queue
+	s.queue = nil
+	if len(s.bySQL) > 0 {
+		clear(s.bySQL)
+	}
+
+	stmts := make([]driver.Stmt, len(batch))
+	for i, p := range batch {
+		stmts[i] = p.stmt
+	}
+	results, err := s.conn.ExecBatch(stmts)
+	if err != nil {
+		return err
+	}
+	for i, p := range batch {
+		s.cache[p.id] = results[i]
+	}
+	// Reuse the drained queue's backing array for the next batch.
+	s.queue = batch[:0]
+	s.stats.Batches++
+	s.stats.Executed += int64(len(batch))
+	if len(batch) > s.stats.MaxBatch {
+		s.stats.MaxBatch = len(batch)
+	}
+	return nil
+}
+
+// Exec registers a statement and immediately demands its result: the
+// behaviour of a statement whose value is used right away. For writes the
+// batch has already flushed by the time Register returns.
+func (s *Store) Exec(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	id, err := s.Register(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return s.ResultSet(id)
+}
+
+// Result pairs a result set with the deferred error from its execution, so
+// lazy consumers can observe failures at force time.
+type Result struct {
+	RS  *sqldb.ResultSet
+	Err error
+}
+
+// Lazy registers the query now (eager registration — the defining property
+// of extended lazy evaluation) and returns a thunk whose force retrieves
+// the result set, flushing the batch if needed. This is the reproduction of
+// the paper's compiled query-call thunk (Sec. 3.3).
+func Lazy(s *Store, sql string, args ...sqldb.Value) *thunk.Thunk[Result] {
+	id, err := s.Register(sql, args...)
+	if err != nil {
+		return thunk.Lit(Result{Err: err})
+	}
+	return thunk.New(func() Result {
+		rs, err := s.ResultSet(id)
+		return Result{RS: rs, Err: err}
+	})
+}

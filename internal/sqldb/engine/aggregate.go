@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn    *sqlparse.FuncCall
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	seen  bool
+	min   sqldb.Value
+	max   sqldb.Value
+}
+
+func (a *aggState) add(ctx *evalCtx) error {
+	if a.fn.Star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	if len(a.fn.Args) != 1 {
+		return fmt.Errorf("engine: %s expects 1 argument", a.fn.Name)
+	}
+	v, err := ctx.eval(a.fn.Args[0])
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	a.count++
+	switch a.fn.Name {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		switch n := v.(type) {
+		case int64:
+			if !a.seen {
+				a.isInt = true
+			}
+			a.sumI += n
+			a.sum += float64(n)
+		case float64:
+			a.isInt = false
+			a.sum += n
+		default:
+			return fmt.Errorf("engine: %s over non-numeric %T", a.fn.Name, v)
+		}
+		a.seen = true
+		return nil
+	case "MIN", "MAX":
+		if !a.seen {
+			a.min, a.max = v, v
+			a.seen = true
+			return nil
+		}
+		cMin, err := sqldb.Compare(v, a.min)
+		if err != nil {
+			return err
+		}
+		if cMin < 0 {
+			a.min = v
+		}
+		cMax, err := sqldb.Compare(v, a.max)
+		if err != nil {
+			return err
+		}
+		if cMax > 0 {
+			a.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown aggregate %s", a.fn.Name)
+	}
+}
+
+func (a *aggState) result() sqldb.Value {
+	switch a.fn.Name {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if !a.seen {
+			return nil
+		}
+		if a.isInt {
+			return a.sumI
+		}
+		return a.sum
+	case "AVG":
+		if !a.seen || a.count == 0 {
+			return nil
+		}
+		return a.sum / float64(a.count)
+	case "MIN":
+		if !a.seen {
+			return nil
+		}
+		return a.min
+	case "MAX":
+		if !a.seen {
+			return nil
+		}
+		return a.max
+	default:
+		return nil
+	}
+}
+
+// group is one GROUP BY bucket.
+type group struct {
+	keyVals []sqldb.Value
+	aggs    []*aggState
+	sample  []sqldb.Value // a representative source row for group-key output
+}
+
+// aggregate evaluates an aggregate query (with or without GROUP BY).
+func (s *Session) aggregate(env *rowEnv, st *sqlparse.SelectStmt, rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	// Output columns: each select expression is either an aggregate call,
+	// an expression over aggregates, or a group-by column.
+	type outCol struct {
+		label string
+		expr  sqlparse.Expr
+	}
+	var outs []outCol
+	for _, se := range st.Cols {
+		if se.Star {
+			return nil, fmt.Errorf("engine: * not allowed with aggregation")
+		}
+		label := se.Alias
+		if label == "" {
+			if ref, ok := se.Expr.(*sqlparse.ColRef); ok {
+				label = ref.Name
+			} else {
+				label = exprLabel(se.Expr)
+			}
+		}
+		outs = append(outs, outCol{label: label, expr: se.Expr})
+	}
+
+	// Collect every aggregate call appearing in select list or HAVING.
+	var aggCalls []*sqlparse.FuncCall
+	var collect func(e sqlparse.Expr)
+	collect = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.FuncCall:
+			if x.IsAggregate() {
+				aggCalls = append(aggCalls, x)
+			}
+		case *sqlparse.Binary:
+			collect(x.L)
+			collect(x.R)
+		case *sqlparse.Unary:
+			collect(x.Expr)
+		}
+	}
+	for _, o := range outs {
+		collect(o.expr)
+	}
+	if st.Having != nil {
+		collect(st.Having)
+	}
+
+	// Bucket rows.
+	groups := make(map[string]*group)
+	var orderKeys []string
+	for _, row := range rows {
+		ctx := &evalCtx{env: env, row: row, args: args}
+		keyVals := make([]sqldb.Value, len(st.GroupBy))
+		for i := range st.GroupBy {
+			v, err := ctx.eval(&st.GroupBy[i])
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		key := rowKey(keyVals)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: keyVals, sample: row}
+			for _, fc := range aggCalls {
+				g.aggs = append(g.aggs, &aggState{fn: fc})
+			}
+			groups[key] = g
+			orderKeys = append(orderKeys, key)
+		}
+		for _, a := range g.aggs {
+			if err := a.add(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A global aggregate with no rows still yields one row.
+	if len(st.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{}
+		for _, fc := range aggCalls {
+			g.aggs = append(g.aggs, &aggState{fn: fc})
+		}
+		groups[""] = g
+		orderKeys = append(orderKeys, "")
+	}
+
+	rs := &sqldb.ResultSet{}
+	for _, o := range outs {
+		rs.Cols = append(rs.Cols, o.label)
+	}
+
+	for _, key := range orderKeys {
+		g := groups[key]
+		// Evaluate output expressions with aggregates substituted.
+		ctx := &evalCtx{env: env, row: g.sample, args: args}
+		sub := &aggSubst{ctx: ctx, calls: aggCalls, states: g.aggs}
+		if st.Having != nil {
+			hv, err := sub.eval(st.Having)
+			if err != nil {
+				return nil, err
+			}
+			if hv == nil || !sqldb.Truthy(hv) {
+				continue
+			}
+		}
+		out := make([]sqldb.Value, len(outs))
+		for i, o := range outs {
+			v, err := sub.eval(o.expr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// aggSubst evaluates expressions replacing aggregate calls with their
+// computed group values.
+type aggSubst struct {
+	ctx    *evalCtx
+	calls  []*sqlparse.FuncCall
+	states []*aggState
+}
+
+func (s *aggSubst) eval(e sqlparse.Expr) (sqldb.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		for i, fc := range s.calls {
+			if fc == x {
+				return s.states[i].result(), nil
+			}
+		}
+		return nil, fmt.Errorf("engine: unbound aggregate %s", x.Name)
+	case *sqlparse.Binary:
+		l, err := s.eval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.eval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return (&evalCtx{env: s.ctx.env, args: s.ctx.args}).evalBinary(&sqlparse.Binary{
+			Op: x.Op,
+			L:  &sqlparse.Literal{Value: l},
+			R:  &sqlparse.Literal{Value: r},
+		})
+	case *sqlparse.Unary:
+		inner, err := s.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return s.ctx.eval(&sqlparse.Unary{Neg: x.Neg, Expr: &sqlparse.Literal{Value: inner}})
+	default:
+		return s.ctx.eval(e)
+	}
+}

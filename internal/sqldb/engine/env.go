@@ -1,0 +1,341 @@
+// Package engine implements the query processor of the reproduction's
+// database: statement execution over the storage layer with a simple
+// planner (index lookups for equality predicates, nested-loop joins with
+// index acceleration), aggregates, ordering, and transaction control. It is
+// the stand-in for the MySQL server in the paper's experimental setup.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/sqldb/storage"
+)
+
+// frame is one table binding contributing columns to the current row.
+type frame struct {
+	binding string // alias or table name, lower-cased
+	table   *storage.Table
+	offset  int // position of this frame's first column in the combined row
+}
+
+// rowEnv resolves column references against the combined row of all frames.
+type rowEnv struct {
+	frames []frame
+	width  int
+}
+
+func newRowEnv() *rowEnv { return &rowEnv{} }
+
+// addFrame appends a table binding and returns its column offset.
+func (e *rowEnv) addFrame(binding string, t *storage.Table) (int, error) {
+	b := strings.ToLower(binding)
+	for _, f := range e.frames {
+		if f.binding == b {
+			return 0, fmt.Errorf("engine: duplicate table binding %q", binding)
+		}
+	}
+	off := e.width
+	e.frames = append(e.frames, frame{binding: b, table: t, offset: off})
+	e.width += len(t.Columns)
+	return off, nil
+}
+
+// resolve maps a column reference to its combined-row position.
+func (e *rowEnv) resolve(ref *sqlparse.ColRef) (int, error) {
+	if ref.Table != "" {
+		b := strings.ToLower(ref.Table)
+		for _, f := range e.frames {
+			if f.binding == b {
+				if i, ok := f.table.ColOrdinal(ref.Name); ok {
+					return f.offset + i, nil
+				}
+				return 0, fmt.Errorf("engine: no column %q in %q", ref.Name, ref.Table)
+			}
+		}
+		return 0, fmt.Errorf("engine: unknown table %q", ref.Table)
+	}
+	found := -1
+	for _, f := range e.frames {
+		if i, ok := f.table.ColOrdinal(ref.Name); ok {
+			if found != -1 {
+				return 0, fmt.Errorf("engine: ambiguous column %q", ref.Name)
+			}
+			found = f.offset + i
+		}
+	}
+	if found == -1 {
+		return 0, fmt.Errorf("engine: unknown column %q", ref.Name)
+	}
+	return found, nil
+}
+
+// colLabel produces the output label for a bare column select expression.
+func colLabel(ref *sqlparse.ColRef) string { return ref.Name }
+
+// evalCtx carries the data needed to evaluate expressions for one row.
+type evalCtx struct {
+	env  *rowEnv
+	row  []sqldb.Value
+	args []sqldb.Value
+}
+
+// eval evaluates a scalar expression for the current row.
+func (c *evalCtx) eval(e sqlparse.Expr) (sqldb.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value, nil
+	case *sqlparse.Param:
+		if x.Index < 0 || x.Index >= len(c.args) {
+			return nil, fmt.Errorf("engine: parameter %d out of range (%d args)", x.Index, len(c.args))
+		}
+		return sqldb.Normalize(c.args[x.Index]), nil
+	case *sqlparse.ColRef:
+		pos, err := c.env.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		if pos >= len(c.row) {
+			return nil, nil // right side of a left join miss
+		}
+		return c.row[pos], nil
+	case *sqlparse.Unary:
+		v, err := c.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if x.Neg {
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			case nil:
+				return nil, nil
+			default:
+				return nil, fmt.Errorf("engine: cannot negate %T", v)
+			}
+		}
+		if v == nil {
+			return nil, nil
+		}
+		return !sqldb.Truthy(v), nil
+	case *sqlparse.Binary:
+		return c.evalBinary(x)
+	case *sqlparse.InList:
+		v, err := c.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		for _, item := range x.List {
+			iv, err := c.eval(item)
+			if err != nil {
+				return nil, err
+			}
+			if sqldb.Equal(v, iv) {
+				return !x.Not, nil
+			}
+		}
+		return x.Not, nil
+	case *sqlparse.IsNullExpr:
+		v, err := c.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Not, nil
+	case *sqlparse.LikeExpr:
+		v, err := c.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		p, err := c.eval(x.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || p == nil {
+			return nil, nil
+		}
+		s, ok1 := v.(string)
+		pat, ok2 := p.(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("engine: LIKE requires strings, got %T LIKE %T", v, p)
+		}
+		return sqlparse.LikeMatch(s, pat) != x.Not, nil
+	case *sqlparse.BetweenExpr:
+		v, err := c.eval(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.eval(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.eval(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		cl, err := sqldb.Compare(v, lo)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := sqldb.Compare(v, hi)
+		if err != nil {
+			return nil, err
+		}
+		return cl >= 0 && ch <= 0, nil
+	case *sqlparse.FuncCall:
+		return nil, fmt.Errorf("engine: aggregate %s used outside aggregation context", x.Name)
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+func (c *evalCtx) evalBinary(x *sqlparse.Binary) (sqldb.Value, error) {
+	// AND/OR get three-valued-logic-lite treatment with short circuiting.
+	switch x.Op {
+	case sqlparse.OpAnd:
+		l, err := c.eval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && !sqldb.Truthy(l) {
+			return false, nil
+		}
+		r, err := c.eval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && !sqldb.Truthy(r) {
+			return false, nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return true, nil
+	case sqlparse.OpOr:
+		l, err := c.eval(x.L)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && sqldb.Truthy(l) {
+			return true, nil
+		}
+		r, err := c.eval(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && sqldb.Truthy(r) {
+			return true, nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return false, nil
+	}
+
+	l, err := c.eval(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.eval(x.R)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil // NULL propagates through comparisons and arithmetic
+	}
+	switch x.Op {
+	case sqlparse.OpEq, sqlparse.OpNe, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		cv, err := sqldb.Compare(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case sqlparse.OpEq:
+			return cv == 0, nil
+		case sqlparse.OpNe:
+			return cv != 0, nil
+		case sqlparse.OpLt:
+			return cv < 0, nil
+		case sqlparse.OpLe:
+			return cv <= 0, nil
+		case sqlparse.OpGt:
+			return cv > 0, nil
+		default:
+			return cv >= 0, nil
+		}
+	case sqlparse.OpAdd, sqlparse.OpSub, sqlparse.OpMul, sqlparse.OpDiv:
+		return arith(x.Op, l, r)
+	default:
+		return nil, fmt.Errorf("engine: unsupported operator %v", x.Op)
+	}
+}
+
+func arith(op sqlparse.BinOp, l, r sqldb.Value) (sqldb.Value, error) {
+	// String concatenation via +.
+	if op == sqlparse.OpAdd {
+		if ls, ok := l.(string); ok {
+			if rs, ok := r.(string); ok {
+				return ls + rs, nil
+			}
+		}
+	}
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch op {
+		case sqlparse.OpAdd:
+			return li + ri, nil
+		case sqlparse.OpSub:
+			return li - ri, nil
+		case sqlparse.OpMul:
+			return li * ri, nil
+		case sqlparse.OpDiv:
+			if ri == 0 {
+				return nil, nil // SQL: division by zero yields NULL (MySQL)
+			}
+			return li / ri, nil
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case sqlparse.OpAdd:
+		return lf + rf, nil
+	case sqlparse.OpSub:
+		return lf - rf, nil
+	case sqlparse.OpMul:
+		return lf * rf, nil
+	case sqlparse.OpDiv:
+		if rf == 0 {
+			return nil, nil
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("engine: bad arithmetic operator %v", op)
+}
+
+func toFloat(v sqldb.Value) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	default:
+		return 0, fmt.Errorf("engine: %T is not numeric", v)
+	}
+}

@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/sqldb/storage"
+)
+
+// execSelect runs a SELECT. The caller holds the store lock.
+func (s *Session) execSelect(st *sqlparse.SelectStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	env := newRowEnv()
+	fromTable, ok := s.db.store.Table(st.From.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", st.From.Name)
+	}
+	if _, err := env.addFrame(st.From.Binding(), fromTable); err != nil {
+		return nil, err
+	}
+	joinTables := make([]*storage.Table, len(st.Joins))
+	for i, j := range st.Joins {
+		jt, ok := s.db.store.Table(j.Table.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", j.Table.Name)
+		}
+		joinTables[i] = jt
+		if _, err := env.addFrame(j.Table.Binding(), jt); err != nil {
+			return nil, err
+		}
+	}
+
+	scanned := 0
+	// Base rows: try an index on the FROM table using the WHERE clause.
+	baseRows, err := s.sourceRows(env, fromTable, st.From.Binding(), st.Where, args, &scanned)
+	if err != nil {
+		return nil, err
+	}
+
+	// Joins: nested loop with index acceleration on the join key.
+	rows := baseRows
+	for i, j := range st.Joins {
+		rows, err = s.joinRows(env, rows, joinTables[i], j, args, &scanned)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE filter over the combined rows.
+	if st.Where != nil {
+		filtered := rows[:0:0]
+		for _, row := range rows {
+			ctx := &evalCtx{env: env, row: row, args: args}
+			v, err := ctx.eval(st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if v != nil && sqldb.Truthy(v) {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	var rs *sqldb.ResultSet
+	if hasAggregates(st) {
+		rs, err = s.aggregate(env, st, rows, args)
+	} else {
+		rs, err = s.project(env, st, rows, args)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rs.RowsScanned = scanned
+
+	// ORDER BY runs before DISTINCT so result/source row correspondence is
+	// intact for order expressions over source columns; DISTINCT then keeps
+	// the first occurrence, preserving sortedness.
+	if len(st.OrderBy) > 0 {
+		if err := orderResult(env, st, rs, rows, args, hasAggregates(st)); err != nil {
+			return nil, err
+		}
+	}
+
+	if st.Distinct {
+		rs.Rows = distinctRows(rs.Rows)
+	}
+
+	// OFFSET / LIMIT.
+	if st.Offset > 0 {
+		if st.Offset >= len(rs.Rows) {
+			rs.Rows = nil
+		} else {
+			rs.Rows = rs.Rows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && len(rs.Rows) > st.Limit {
+		rs.Rows = rs.Rows[:st.Limit]
+	}
+	return rs, nil
+}
+
+// sourceRows produces the combined-width rows for the FROM table, using an
+// index when the WHERE clause pins an indexed column of this table.
+func (s *Session) sourceRows(env *rowEnv, t *storage.Table, binding string, where sqlparse.Expr, args []sqldb.Value, scanned *int) ([][]sqldb.Value, error) {
+	var rows [][]sqldb.Value
+	emit := func(r storage.Row) {
+		*scanned++
+		row := make([]sqldb.Value, len(r), env.width)
+		copy(row, r)
+		rows = append(rows, row)
+	}
+
+	if ord, val, ok := s.indexablePredicate(t, binding, where, args); ok {
+		for _, id := range t.Lookup(ord, val) {
+			if r, ok := t.Get(id); ok {
+				emit(r)
+			}
+		}
+		return rows, nil
+	}
+	t.Scan(func(_ storage.RowID, r storage.Row) bool {
+		emit(r)
+		return true
+	})
+	return rows, nil
+}
+
+// indexablePredicate looks for a top-level AND-ed `col = value` predicate
+// over an indexed column of table t bound as binding, where value is a
+// literal or parameter (no column references). Returns the column ordinal
+// and the value.
+func (s *Session) indexablePredicate(t *storage.Table, binding string, e sqlparse.Expr, args []sqldb.Value) (int, sqldb.Value, bool) {
+	switch x := e.(type) {
+	case nil:
+		return 0, nil, false
+	case *sqlparse.Binary:
+		switch x.Op {
+		case sqlparse.OpAnd:
+			if ord, v, ok := s.indexablePredicate(t, binding, x.L, args); ok {
+				return ord, v, true
+			}
+			return s.indexablePredicate(t, binding, x.R, args)
+		case sqlparse.OpEq:
+			if ord, v, ok := matchEq(t, binding, x.L, x.R, args); ok {
+				return ord, v, true
+			}
+			return matchEq(t, binding, x.R, x.L, args)
+		}
+	}
+	return 0, nil, false
+}
+
+// matchEq checks `colSide = valSide` shape against table t.
+func matchEq(t *storage.Table, binding string, colSide, valSide sqlparse.Expr, args []sqldb.Value) (int, sqldb.Value, bool) {
+	ref, ok := colSide.(*sqlparse.ColRef)
+	if !ok {
+		return 0, nil, false
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+		return 0, nil, false
+	}
+	ord, ok := t.ColOrdinal(ref.Name)
+	if !ok || !t.HasIndex(ord) {
+		return 0, nil, false
+	}
+	v, ok := constValue(valSide, args)
+	if !ok || v == nil {
+		return 0, nil, false
+	}
+	return ord, v, true
+}
+
+// constValue evaluates an expression containing no column references.
+func constValue(e sqlparse.Expr, args []sqldb.Value) (sqldb.Value, bool) {
+	if len(sqlparse.CollectColRefs(e, nil)) > 0 {
+		return nil, false
+	}
+	ctx := &evalCtx{env: newRowEnv(), args: args}
+	v, err := ctx.eval(e)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// joinRows extends each left row with matching rows from the join table.
+func (s *Session) joinRows(env *rowEnv, left [][]sqldb.Value, jt *storage.Table, j sqlparse.Join, args []sqldb.Value, scanned *int) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	// Index acceleration: ON of form jt.col = expr(left columns).
+	jOrd, leftExpr := joinKey(env, jt, j.Table.Binding(), j.On)
+
+	jOffset := 0
+	for _, f := range env.frames {
+		if f.table == jt && f.binding == strings.ToLower(j.Table.Binding()) {
+			jOffset = f.offset
+		}
+	}
+
+	for _, lrow := range left {
+		matched := false
+		tryRow := func(r storage.Row) error {
+			*scanned++
+			combined := make([]sqldb.Value, env.width)
+			copy(combined, lrow)
+			for i, v := range r {
+				combined[jOffset+i] = v
+			}
+			ctx := &evalCtx{env: env, row: combined, args: args}
+			v, err := ctx.eval(j.On)
+			if err != nil {
+				return err
+			}
+			if v != nil && sqldb.Truthy(v) {
+				out = append(out, combined[:jOffset+len(r)])
+				matched = true
+			}
+			return nil
+		}
+
+		var err error
+		if jOrd >= 0 {
+			ctx := &evalCtx{env: env, row: lrow, args: args}
+			key, kerr := ctx.eval(leftExpr)
+			if kerr == nil && key != nil {
+				for _, id := range jt.Lookup(jOrd, key) {
+					if r, ok := jt.Get(id); ok {
+						if err = tryRow(r); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		} else {
+			jt.Scan(func(_ storage.RowID, r storage.Row) bool {
+				err = tryRow(r)
+				return err == nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if !matched && j.Kind == sqlparse.JoinLeft {
+			combined := make([]sqldb.Value, jOffset+len(jt.Columns))
+			copy(combined, lrow)
+			out = append(out, combined) // right side stays NULL
+		}
+	}
+	return out, nil
+}
+
+// joinKey detects `jt.col = expr` (or mirrored) where jt.col is indexed and
+// expr references only earlier frames; returns the ordinal and the left
+// expression, or (-1, nil).
+func joinKey(env *rowEnv, jt *storage.Table, binding string, on sqlparse.Expr) (int, sqlparse.Expr) {
+	b, ok := on.(*sqlparse.Binary)
+	if !ok || b.Op != sqlparse.OpEq {
+		return -1, nil
+	}
+	try := func(colSide, otherSide sqlparse.Expr) (int, sqlparse.Expr) {
+		ref, ok := colSide.(*sqlparse.ColRef)
+		if !ok || !strings.EqualFold(ref.Table, binding) {
+			return -1, nil
+		}
+		ord, ok := jt.ColOrdinal(ref.Name)
+		if !ok || !jt.HasIndex(ord) {
+			return -1, nil
+		}
+		// otherSide must not reference the join table binding.
+		for _, r := range sqlparse.CollectColRefs(otherSide, nil) {
+			if r.Table == "" || strings.EqualFold(r.Table, binding) {
+				return -1, nil
+			}
+		}
+		return ord, otherSide
+	}
+	if ord, e := try(b.L, b.R); ord >= 0 {
+		return ord, e
+	}
+	return try(b.R, b.L)
+}
+
+// hasAggregates reports whether the select list or HAVING uses aggregates
+// or the statement has a GROUP BY.
+func hasAggregates(st *sqlparse.SelectStmt) bool {
+	if len(st.GroupBy) > 0 || st.Having != nil {
+		return true
+	}
+	for _, c := range st.Cols {
+		if c.Star {
+			continue
+		}
+		if exprHasAggregate(c.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlparse.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		return x.IsAggregate()
+	case *sqlparse.Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *sqlparse.Unary:
+		return exprHasAggregate(x.Expr)
+	default:
+		return false
+	}
+}
+
+// project renders a non-aggregate select list.
+func (s *Session) project(env *rowEnv, st *sqlparse.SelectStmt, rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	cols, exprs, err := expandSelectList(env, st)
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqldb.ResultSet{Cols: cols}
+	for _, row := range rows {
+		ctx := &evalCtx{env: env, row: row, args: args}
+		out := make([]sqldb.Value, len(exprs))
+		for i, e := range exprs {
+			v, err := ctx.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}
+
+// expandSelectList resolves stars into explicit column references and
+// returns output labels plus the expression list.
+func expandSelectList(env *rowEnv, st *sqlparse.SelectStmt) ([]string, []sqlparse.Expr, error) {
+	var cols []string
+	var exprs []sqlparse.Expr
+	for _, se := range st.Cols {
+		switch {
+		case se.Star && se.StarTable == "":
+			for _, f := range env.frames {
+				for _, c := range f.table.Columns {
+					cols = append(cols, c.Name)
+					exprs = append(exprs, &sqlparse.ColRef{Table: f.binding, Name: c.Name})
+				}
+			}
+		case se.Star:
+			b := strings.ToLower(se.StarTable)
+			found := false
+			for _, f := range env.frames {
+				if f.binding == b {
+					for _, c := range f.table.Columns {
+						cols = append(cols, c.Name)
+						exprs = append(exprs, &sqlparse.ColRef{Table: f.binding, Name: c.Name})
+					}
+					found = true
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("engine: unknown table %q in select list", se.StarTable)
+			}
+		default:
+			label := se.Alias
+			if label == "" {
+				if ref, ok := se.Expr.(*sqlparse.ColRef); ok {
+					label = colLabel(ref)
+				} else {
+					label = exprLabel(se.Expr)
+				}
+			}
+			cols = append(cols, label)
+			exprs = append(exprs, se.Expr)
+		}
+	}
+	return cols, exprs, nil
+}
+
+func exprLabel(e sqlparse.Expr) string {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		return x.Name
+	default:
+		return "expr"
+	}
+}
+
+// distinctRows removes duplicate rows preserving first occurrence.
+func distinctRows(rows [][]sqldb.Value) [][]sqldb.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		key := rowKey(r)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rowKey(r []sqldb.Value) string {
+	var sb strings.Builder
+	for _, v := range r {
+		sb.WriteString(sqldb.Format(v))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// orderResult sorts the result rows. For non-aggregate queries, order
+// expressions are evaluated against the corresponding source rows; for
+// aggregate queries they must reference output columns by name or alias.
+func orderResult(env *rowEnv, st *sqlparse.SelectStmt, rs *sqldb.ResultSet, srcRows [][]sqldb.Value, args []sqldb.Value, aggregated bool) error {
+	type keyed struct {
+		out  []sqldb.Value
+		keys []sqldb.Value
+	}
+	items := make([]keyed, len(rs.Rows))
+
+	for i := range rs.Rows {
+		keys := make([]sqldb.Value, len(st.OrderBy))
+		for k, ob := range st.OrderBy {
+			// Alias / output column reference?
+			if ref, ok := ob.Expr.(*sqlparse.ColRef); ok && ref.Table == "" {
+				if ci, ok := rs.ColIndex(ref.Name); ok {
+					keys[k] = rs.Rows[i][ci]
+					continue
+				}
+			}
+			if aggregated {
+				return fmt.Errorf("engine: ORDER BY over aggregates must reference output columns")
+			}
+			if i >= len(srcRows) {
+				return fmt.Errorf("engine: internal: row correspondence lost in ORDER BY")
+			}
+			ctx := &evalCtx{env: env, row: srcRows[i], args: args}
+			v, err := ctx.eval(ob.Expr)
+			if err != nil {
+				return err
+			}
+			keys[k] = v
+		}
+		items[i] = keyed{out: rs.Rows[i], keys: keys}
+	}
+
+	sort.SliceStable(items, func(a, b int) bool {
+		for k, ob := range st.OrderBy {
+			av, bv := items[a].keys[k], items[b].keys[k]
+			c := compareForSort(av, bv)
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range items {
+		rs.Rows[i] = items[i].out
+	}
+	return nil
+}
+
+// compareForSort orders values with NULLs first, incomparables equal.
+func compareForSort(a, b sqldb.Value) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	c, err := sqldb.Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/sqldb/storage"
+)
+
+// DB is the database instance: a storage store plus schema DDL entry points.
+type DB struct {
+	store *storage.Store
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{store: storage.NewStore()}
+}
+
+// Store exposes the underlying storage (the benchmark data generators use
+// it for bulk loading without SQL round trips).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Session is one client's execution context, holding its transaction state.
+// Sessions are not safe for concurrent use; the server gives each
+// connection its own session.
+type Session struct {
+	db  *DB
+	txn *storage.Txn
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.txn != nil }
+
+// Exec parses and executes one statement with optional positional args.
+func (s *Session) Exec(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st, args)
+}
+
+// ExecStmt executes a parsed statement. It acquires the store lock for the
+// duration of the statement — the engine serializes statements, which is
+// sufficient for the reproduction's single-store workloads.
+func (s *Session) ExecStmt(st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	for i := range args {
+		args[i] = sqldb.Normalize(args[i])
+	}
+	s.db.store.Lock()
+	defer s.db.store.Unlock()
+	return s.execLocked(st, args)
+}
+
+func (s *Session) execLocked(st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	switch x := st.(type) {
+	case *sqlparse.SelectStmt:
+		return s.execSelect(x, args)
+	case *sqlparse.InsertStmt:
+		return s.execInsert(x, args)
+	case *sqlparse.UpdateStmt:
+		return s.execUpdate(x, args)
+	case *sqlparse.DeleteStmt:
+		return s.execDelete(x, args)
+	case *sqlparse.CreateTableStmt:
+		return s.execCreateTable(x)
+	case *sqlparse.CreateIndexStmt:
+		return s.execCreateIndex(x)
+	case *sqlparse.BeginStmt:
+		if s.txn != nil {
+			return nil, fmt.Errorf("engine: transaction already open")
+		}
+		s.txn = s.db.store.Begin()
+		return &sqldb.ResultSet{}, nil
+	case *sqlparse.CommitStmt:
+		if s.txn == nil {
+			return &sqldb.ResultSet{}, nil // commit outside txn is a no-op
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		return &sqldb.ResultSet{}, err
+	case *sqlparse.RollbackStmt:
+		if s.txn == nil {
+			return &sqldb.ResultSet{}, nil
+		}
+		err := s.txn.Rollback()
+		s.txn = nil
+		return &sqldb.ResultSet{}, err
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*sqldb.ResultSet, error) {
+	cols := make([]storage.Column, len(st.Cols))
+	for i, c := range st.Cols {
+		cols[i] = storage.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
+	}
+	if _, err := s.db.store.CreateTable(st.Name, cols); err != nil {
+		return nil, err
+	}
+	return &sqldb.ResultSet{}, nil
+}
+
+func (s *Session) execCreateIndex(st *sqlparse.CreateIndexStmt) (*sqldb.ResultSet, error) {
+	t, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	if err := t.AddIndex(st.Col, st.Unique); err != nil {
+		return nil, err
+	}
+	return &sqldb.ResultSet{}, nil
+}
+
+func (s *Session) execInsert(st *sqlparse.InsertStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	t, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	// Map statement columns to table ordinals; default is positional.
+	ordinals := make([]int, 0, len(t.Columns))
+	if st.Cols == nil {
+		for i := range t.Columns {
+			ordinals = append(ordinals, i)
+		}
+	} else {
+		for _, name := range st.Cols {
+			i, ok := t.ColOrdinal(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, name)
+			}
+			ordinals = append(ordinals, i)
+		}
+	}
+
+	rs := &sqldb.ResultSet{}
+	ctx := &evalCtx{env: newRowEnv(), args: args}
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(ordinals) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, want %d", len(exprRow), len(ordinals))
+		}
+		row := make(storage.Row, len(t.Columns))
+		for j, e := range exprRow {
+			v, err := ctx.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			row[ordinals[j]] = v
+		}
+		id, err := t.Insert(row)
+		if err != nil {
+			return nil, err
+		}
+		if s.txn != nil {
+			s.txn.LogInsert(t, id)
+		}
+		if pk := t.PKOrdinal(); pk >= 0 {
+			if v, ok := row[pk].(int64); ok {
+				rs.LastInsertID = v
+			}
+		}
+		rs.RowsAffected++
+	}
+	return rs, nil
+}
+
+func (s *Session) execUpdate(st *sqlparse.UpdateStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	t, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	env := newRowEnv()
+	if _, err := env.addFrame(st.Table, t); err != nil {
+		return nil, err
+	}
+	setOrds := make([]int, len(st.Sets))
+	for i, a := range st.Sets {
+		ord, ok := t.ColOrdinal(a.Col)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, a.Col)
+		}
+		setOrds[i] = ord
+	}
+
+	ids, scanned, err := s.matchRows(t, st.Table, st.Where, env, args)
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqldb.ResultSet{RowsScanned: scanned}
+	for _, id := range ids {
+		row, ok := t.Get(id)
+		if !ok {
+			continue
+		}
+		ctx := &evalCtx{env: env, row: row, args: args}
+		newRow := make(storage.Row, len(row))
+		copy(newRow, row)
+		for i, a := range st.Sets {
+			v, err := ctx.eval(a.Expr)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setOrds[i]] = v
+		}
+		old, err := t.Update(id, newRow)
+		if err != nil {
+			return nil, err
+		}
+		if s.txn != nil {
+			s.txn.LogUpdate(t, id, old)
+		}
+		rs.RowsAffected++
+	}
+	return rs, nil
+}
+
+func (s *Session) execDelete(st *sqlparse.DeleteStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	t, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	env := newRowEnv()
+	if _, err := env.addFrame(st.Table, t); err != nil {
+		return nil, err
+	}
+	ids, scanned, err := s.matchRows(t, st.Table, st.Where, env, args)
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqldb.ResultSet{RowsScanned: scanned}
+	for _, id := range ids {
+		old, ok := t.Delete(id)
+		if !ok {
+			continue
+		}
+		if s.txn != nil {
+			s.txn.LogDelete(t, id, old)
+		}
+		rs.RowsAffected++
+	}
+	return rs, nil
+}
+
+// matchRows returns ids of rows satisfying where, using the index when the
+// predicate allows it.
+func (s *Session) matchRows(t *storage.Table, binding string, where sqlparse.Expr, env *rowEnv, args []sqldb.Value) ([]storage.RowID, int, error) {
+	var candidates []storage.RowID
+	scanned := 0
+	if ord, val, ok := s.indexablePredicate(t, binding, where, args); ok {
+		candidates = t.Lookup(ord, val)
+	} else {
+		t.Scan(func(id storage.RowID, _ storage.Row) bool {
+			candidates = append(candidates, id)
+			return true
+		})
+	}
+	if where == nil {
+		scanned = len(candidates)
+		return candidates, scanned, nil
+	}
+	var out []storage.RowID
+	for _, id := range candidates {
+		row, ok := t.Get(id)
+		if !ok {
+			continue
+		}
+		scanned++
+		ctx := &evalCtx{env: env, row: row, args: args}
+		v, err := ctx.eval(where)
+		if err != nil {
+			return nil, scanned, err
+		}
+		if v != nil && sqldb.Truthy(v) {
+			out = append(out, id)
+		}
+	}
+	return out, scanned, nil
+}

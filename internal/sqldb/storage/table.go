@@ -1,0 +1,326 @@
+// Package storage implements the row store beneath the reproduction's SQL
+// engine: typed tables with auto-assigned row ids, hash indexes on primary
+// key and secondary columns, and undo-log transactions that give the engine
+// BEGIN/COMMIT/ROLLBACK semantics. The Sloth query store relies on the
+// transaction boundary behaviour (writes flush pending read batches) so the
+// storage layer must expose real transactional state.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sqldb"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name       string
+	Type       sqldb.Type
+	PrimaryKey bool
+}
+
+// Row is one stored tuple; values align with the table's column order.
+type Row []sqldb.Value
+
+// clone copies a row so callers can't alias stored state.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// RowID identifies a physical row within a table.
+type RowID int64
+
+// Table is a heap of rows plus its indexes. Access is serialized by the
+// owning Store's mutex.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	colIndex map[string]int // lower-cased column name -> ordinal
+	pkCol    int            // -1 when no primary key
+
+	rows   map[RowID]Row
+	nextID RowID
+
+	// indexes maps column ordinal -> value -> set of row ids. The primary
+	// key column always has an index.
+	indexes map[int]map[sqldb.Value]map[RowID]struct{}
+	unique  map[int]bool
+}
+
+// NewTable builds an empty table from column definitions.
+func NewTable(name string, cols []Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: table %q has no columns", name)
+	}
+	t := &Table{
+		Name:     name,
+		Columns:  cols,
+		colIndex: make(map[string]int, len(cols)),
+		pkCol:    -1,
+		rows:     make(map[RowID]Row),
+		nextID:   1,
+		indexes:  make(map[int]map[sqldb.Value]map[RowID]struct{}),
+		unique:   make(map[int]bool),
+	}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := t.colIndex[key]; dup {
+			return nil, fmt.Errorf("storage: table %q: duplicate column %q", name, c.Name)
+		}
+		t.colIndex[key] = i
+		if c.PrimaryKey {
+			if t.pkCol != -1 {
+				return nil, fmt.Errorf("storage: table %q: multiple primary keys", name)
+			}
+			t.pkCol = i
+		}
+	}
+	if t.pkCol >= 0 {
+		t.indexes[t.pkCol] = make(map[sqldb.Value]map[RowID]struct{})
+		t.unique[t.pkCol] = true
+	}
+	return t, nil
+}
+
+// ColOrdinal resolves a column name (case-insensitive) to its ordinal.
+func (t *Table) ColOrdinal(name string) (int, bool) {
+	i, ok := t.colIndex[strings.ToLower(name)]
+	return i, ok
+}
+
+// PKOrdinal returns the primary key column ordinal, or -1.
+func (t *Table) PKOrdinal() int { return t.pkCol }
+
+// NumRows reports the number of live rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// HasIndex reports whether column ordinal i is indexed.
+func (t *Table) HasIndex(i int) bool {
+	_, ok := t.indexes[i]
+	return ok
+}
+
+// AddIndex creates a hash index over the named column, populating it from
+// existing rows.
+func (t *Table) AddIndex(col string, unique bool) error {
+	i, ok := t.ColOrdinal(col)
+	if !ok {
+		return fmt.Errorf("storage: table %q: no column %q", t.Name, col)
+	}
+	if _, exists := t.indexes[i]; exists {
+		return fmt.Errorf("storage: table %q: column %q already indexed", t.Name, col)
+	}
+	idx := make(map[sqldb.Value]map[RowID]struct{})
+	for id, row := range t.rows {
+		v := row[i]
+		if unique && v != nil && len(idx[v]) > 0 {
+			return fmt.Errorf("storage: table %q: duplicate value %v violates unique index on %q", t.Name, v, col)
+		}
+		addToIndex(idx, v, id)
+	}
+	t.indexes[i] = idx
+	t.unique[i] = unique
+	return nil
+}
+
+func addToIndex(idx map[sqldb.Value]map[RowID]struct{}, v sqldb.Value, id RowID) {
+	if v == nil {
+		return // NULLs are not indexed, matching common SQL behaviour
+	}
+	set, ok := idx[v]
+	if !ok {
+		set = make(map[RowID]struct{})
+		idx[v] = set
+	}
+	set[id] = struct{}{}
+}
+
+func removeFromIndex(idx map[sqldb.Value]map[RowID]struct{}, v sqldb.Value, id RowID) {
+	if v == nil {
+		return
+	}
+	if set, ok := idx[v]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(idx, v)
+		}
+	}
+}
+
+// Insert validates, coerces, and stores a row, returning its id.
+func (t *Table) Insert(vals Row) (RowID, error) {
+	if len(vals) != len(t.Columns) {
+		return 0, fmt.Errorf("storage: table %q: got %d values, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		cv, err := sqldb.Coerce(sqldb.Normalize(v), t.Columns[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("storage: table %q column %q: %w", t.Name, t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	for i, idx := range t.indexes {
+		if t.unique[i] && row[i] != nil {
+			if set, ok := idx[row[i]]; ok && len(set) > 0 {
+				return 0, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
+			}
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = row
+	for i, idx := range t.indexes {
+		addToIndex(idx, row[i], id)
+	}
+	return id, nil
+}
+
+// insertAt restores a row under a specific id (transaction rollback path).
+func (t *Table) insertAt(id RowID, row Row) {
+	t.rows[id] = row
+	for i, idx := range t.indexes {
+		addToIndex(idx, row[i], id)
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+}
+
+// Get returns a copy of the row with the given id.
+func (t *Table) Get(id RowID) (Row, bool) {
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return row.clone(), true
+}
+
+// Delete removes a row, returning the removed contents for undo logging.
+func (t *Table) Delete(id RowID) (Row, bool) {
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	for i, idx := range t.indexes {
+		removeFromIndex(idx, row[i], id)
+	}
+	delete(t.rows, id)
+	return row, true
+}
+
+// Update replaces the row contents, returning the previous contents.
+func (t *Table) Update(id RowID, vals Row) (Row, error) {
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q: no row %d", t.Name, id)
+	}
+	row := make(Row, len(vals))
+	for i, v := range vals {
+		cv, err := sqldb.Coerce(sqldb.Normalize(v), t.Columns[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %q column %q: %w", t.Name, t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	for i := range t.indexes {
+		if t.unique[i] && row[i] != nil && !sqldb.Equal(row[i], old[i]) {
+			if set, ok := t.indexes[i][row[i]]; ok && len(set) > 0 {
+				return nil, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
+			}
+		}
+	}
+	for i, idx := range t.indexes {
+		removeFromIndex(idx, old[i], id)
+		addToIndex(idx, row[i], id)
+	}
+	t.rows[id] = row
+	return old, nil
+}
+
+// Lookup returns the ids of rows whose indexed column i equals v, in
+// ascending id order for determinism.
+func (t *Table) Lookup(i int, v sqldb.Value) []RowID {
+	idx, ok := t.indexes[i]
+	if !ok {
+		return nil
+	}
+	set := idx[sqldb.Normalize(v)]
+	ids := make([]RowID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// Scan calls fn for every live row in ascending id order. The row passed to
+// fn must not be mutated.
+func (t *Table) Scan(fn func(RowID, Row) bool) {
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if !fn(id, t.rows[id]) {
+			return
+		}
+	}
+}
+
+// Store is a named collection of tables guarded by one mutex; the engine
+// serializes statement execution through it. A single global lock is
+// adequate because the reproduction measures round trips and modeled costs,
+// not lock scalability.
+type Store struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// Lock acquires the store mutex. Callers pair it with Unlock.
+func (s *Store) Lock() { s.mu.Lock() }
+
+// Unlock releases the store mutex.
+func (s *Store) Unlock() { s.mu.Unlock() }
+
+// CreateTable registers a new table. The caller must hold the lock.
+func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := s.tables[key]; exists {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t, err := NewTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[key] = t
+	return t, nil
+}
+
+// Table resolves a table by name (case-insensitive). Caller holds the lock.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists tables in sorted order.
+func (s *Store) TableNames() []string {
+	names := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,71 @@
+package thunk
+
+import "sync/atomic"
+
+// Block is a thunk block (paper Sec. 4.2–4.3): a single delayed computation
+// that produces several named outputs. Thunk coalescing merges consecutive
+// statements into one block so intermediate temporaries need no thunk
+// allocations of their own, and branch deferral wraps a whole if/else whose
+// bodies are side-effect free into one block whose body re-evaluates the
+// condition lazily.
+//
+// Forcing any output of the block runs the block body exactly once; the body
+// stores every output via Set.
+type Block struct {
+	body func(*Block)
+	vals map[string]any
+	done bool
+}
+
+// NewBlock creates a thunk block with the given body. The body receives the
+// block and must Set every output it promised.
+func NewBlock(body func(*Block)) *Block {
+	atomic.AddInt64(&globalStats.allocs, 1)
+	return &Block{body: body}
+}
+
+// run evaluates the block body once.
+func (b *Block) run() {
+	if b.done {
+		return
+	}
+	b.vals = make(map[string]any)
+	b.body(b)
+	b.done = true
+	b.body = nil
+}
+
+// Set records an output value. It must be called from within the block body.
+func (b *Block) Set(name string, v any) {
+	b.vals[name] = v
+}
+
+// Forced reports whether the block body has run.
+func (b *Block) Forced() bool { return b.done }
+
+// Out returns the named output as a lazy value: forcing it evaluates the
+// entire block (and therefore all sibling outputs), matching the paper's
+// "calling _force on any of the thunk outputs from a thunk block will
+// evaluate the entire block".
+func (b *Block) Out(name string) *Thunk[any] {
+	return New(func() any {
+		b.run()
+		v, ok := b.vals[name]
+		if !ok {
+			panic("thunk: block output not set: " + name)
+		}
+		return v
+	})
+}
+
+// OutAs returns the named output coerced to T when forced.
+func OutAs[T any](b *Block, name string) *Thunk[T] {
+	return New(func() T {
+		b.run()
+		v, ok := b.vals[name]
+		if !ok {
+			panic("thunk: block output not set: " + name)
+		}
+		return v.(T)
+	})
+}

@@ -1,0 +1,194 @@
+package webapp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/thunk"
+)
+
+// Params carries request parameters (the form values the benchmark harness
+// fills with valid database ids, as in paper Sec. 6.1).
+type Params map[string]int64
+
+// Get returns a parameter or a default.
+func (p Params) Get(name string, def int64) int64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Model is the MVC model map. Under Sloth, values are typically unforced
+// orm.Lazy thunks.
+type Model map[string]any
+
+// Ctx is the per-request context handed to controllers.
+type Ctx struct {
+	Session *orm.Session
+	Req     Params
+	Model   Model
+
+	puts int
+}
+
+// Put stores a model entry (counted for the app-server cost model).
+func (c *Ctx) Put(key string, v any) {
+	c.puts++
+	c.Model[key] = v
+}
+
+// Controller builds the model for a page.
+type Controller func(*Ctx) error
+
+// View renders the model through the writer.
+type View func(w *ThunkWriter, m Model)
+
+// Page is one benchmark page: a named controller/view pair.
+type Page struct {
+	Name       string
+	Controller Controller
+	View       View
+}
+
+// CostProfile prices app-server computation on the virtual clock. The
+// reproduction charges per logical operation rather than measuring Go wall
+// time so results are deterministic; the constants are calibrated in
+// DESIGN.md to land the paper's time-breakdown shares (Fig. 8).
+type CostProfile struct {
+	// ControllerBase is charged once per page load (framework dispatch,
+	// auth checks, template setup).
+	ControllerBase time.Duration
+	// PerOp is charged per model put and per rendered value.
+	PerOp time.Duration
+	// PerEntity is charged per entity deserialized from result sets.
+	PerEntity time.Duration
+	// PerThunk is charged per thunk allocated — the lazy-evaluation
+	// overhead (paper Sec. 6.6). Zero for original-mode apps.
+	PerThunk time.Duration
+	// PerRoundTrip is the client-side driver cost of one database round
+	// trip (JDBC-style marshaling and blocking). The original application
+	// pays it per query; Sloth pays it per batch — the reason the paper's
+	// Fig. 8 shows absolute app-server time FALLING under Sloth even
+	// though its share rises.
+	PerRoundTrip time.Duration
+}
+
+// DefaultCostProfile mirrors the calibration in DESIGN.md: app-server work
+// dominates page time at data-center RTT (as in the paper's Fig. 8 where
+// the app server holds ~40-60% of load time), and thunk overhead is large
+// enough that Sloth's app-server share exceeds the original's.
+func DefaultCostProfile() CostProfile {
+	return CostProfile{
+		ControllerBase: 22 * time.Millisecond,
+		PerOp:          60 * time.Microsecond,
+		PerEntity:      200 * time.Microsecond,
+		// One orm.Lazy value stands for the cloud of fine-grained thunks
+		// the Sloth compiler would emit for the statements deriving it, so
+		// its unit price is high (see DESIGN.md calibration).
+		PerThunk:     300 * time.Microsecond,
+		PerRoundTrip: 350 * time.Microsecond,
+	}
+}
+
+// Result reports one page load.
+type Result struct {
+	HTML string
+	// AppTime is the app-server compute charged for this load.
+	AppTime time.Duration
+	// ModelPuts, Rendered, ThunkAllocs, Entities are the operation counts
+	// that produced AppTime.
+	ModelPuts   int
+	Rendered    int
+	ThunkAllocs int64
+	Entities    int64
+}
+
+// App is a registered set of pages sharing a clock and cost profile.
+type App struct {
+	pages   map[string]*Page
+	order   []string
+	clock   netsim.Clock
+	profile CostProfile
+}
+
+// New creates an app server.
+func New(clock netsim.Clock, profile CostProfile) *App {
+	return &App{pages: make(map[string]*Page), clock: clock, profile: profile}
+}
+
+// RegisterPage adds a page; duplicate names are an error.
+func (a *App) RegisterPage(p Page) error {
+	if p.Name == "" || p.Controller == nil || p.View == nil {
+		return fmt.Errorf("webapp: page needs name, controller, and view")
+	}
+	if _, dup := a.pages[p.Name]; dup {
+		return fmt.Errorf("webapp: duplicate page %q", p.Name)
+	}
+	cp := p
+	a.pages[p.Name] = &cp
+	a.order = append(a.order, p.Name)
+	return nil
+}
+
+// MustRegisterPage panics on registration errors (static page tables).
+func (a *App) MustRegisterPage(p Page) {
+	if err := a.RegisterPage(p); err != nil {
+		panic(err)
+	}
+}
+
+// PageNames lists pages in registration order — the benchmark list.
+func (a *App) PageNames() []string {
+	out := make([]string, len(a.order))
+	copy(out, a.order)
+	return out
+}
+
+// Load executes one page request in the given session. The session's mode
+// decides original vs Sloth behaviour; the writer defers thunks exactly
+// when the session is a Sloth session.
+func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) {
+	page, ok := a.pages[name]
+	if !ok {
+		return nil, fmt.Errorf("webapp: no page %q", name)
+	}
+
+	thunksBefore := thunk.GlobalStats().Allocs()
+	entitiesBefore := sess.Stats().Deserialized
+	tripsBefore := sess.Conn().Link().Stats().RoundTrips
+
+	ctx := &Ctx{Session: sess, Req: req, Model: make(Model)}
+	if err := page.Controller(ctx); err != nil {
+		return nil, fmt.Errorf("webapp: page %q controller: %w", name, err)
+	}
+
+	w := NewThunkWriter(sess.Sloth())
+	page.View(w, ctx.Model)
+	html, err := w.Flush()
+	if err != nil {
+		return nil, fmt.Errorf("webapp: page %q: %w", name, err)
+	}
+
+	res := &Result{
+		HTML:        html,
+		ModelPuts:   ctx.puts,
+		Rendered:    w.Rendered(),
+		ThunkAllocs: thunk.GlobalStats().Allocs() - thunksBefore,
+		Entities:    sess.Stats().Deserialized - entitiesBefore,
+	}
+	trips := sess.Conn().Link().Stats().RoundTrips - tripsBefore
+	res.AppTime = a.profile.ControllerBase +
+		time.Duration(res.ModelPuts+res.Rendered)*a.profile.PerOp +
+		time.Duration(res.Entities)*a.profile.PerEntity +
+		time.Duration(trips)*a.profile.PerRoundTrip
+	if sess.Sloth() {
+		// Thunk allocation cost is the lazy-evaluation overhead; original-
+		// mode code has no thunks (its Lazy wrappers model plain values).
+		res.AppTime += time.Duration(res.ThunkAllocs) * a.profile.PerThunk
+	}
+	a.clock.Advance(res.AppTime)
+	return res, nil
+}

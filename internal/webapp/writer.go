@@ -1,0 +1,102 @@
+// Package webapp is the reproduction's Spring-MVC/Tomcat stand-in: pages
+// are controller + view pairs, controllers populate a model map, and views
+// render through a ThunkWriter. The Sloth extensions are built in: model
+// maps may hold unforced thunks (the Spring extension of paper Sec. 5) and
+// the ThunkWriter buffers thunk values until the final flush (the JspWriter
+// writeThunk extension), which is what gives Sloth its batching window
+// across the whole page build.
+package webapp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/thunk"
+)
+
+// ThunkWriter accumulates page output. Plain strings append immediately;
+// lazy values are buffered unforced when deferred mode is on, and are all
+// forced only at Flush — typically triggering a single batched round trip
+// for every query still pending in the session's query store.
+type ThunkWriter struct {
+	parts    []any // string or thunk.Any
+	deferred bool
+	rendered int // values written via WriteValue
+	buffered int // thunk values buffered rather than forced
+}
+
+// NewThunkWriter creates a writer. With deferred=false (original
+// application behaviour) lazy values are forced at write time, exactly like
+// a stock JspWriter printing an entity.
+func NewThunkWriter(deferred bool) *ThunkWriter {
+	return &ThunkWriter{deferred: deferred}
+}
+
+// WriteString appends literal markup.
+func (w *ThunkWriter) WriteString(s string) {
+	w.parts = append(w.parts, s)
+}
+
+// Writef appends formatted literal markup.
+func (w *ThunkWriter) Writef(format string, args ...any) {
+	w.parts = append(w.parts, fmt.Sprintf(format, args...))
+}
+
+// WriteValue appends a dynamic value. Lazy values (thunk.Any) are buffered
+// in deferred mode — the paper's writeThunk — and forced otherwise.
+func (w *ThunkWriter) WriteValue(v any) {
+	w.rendered++
+	if t, ok := v.(thunk.Any); ok {
+		if w.deferred {
+			w.parts = append(w.parts, t)
+			w.buffered++
+			return
+		}
+		v = t.ForceAny()
+	}
+	w.parts = append(w.parts, renderValue(v))
+}
+
+// Rendered reports how many dynamic values were written.
+func (w *ThunkWriter) Rendered() int { return w.rendered }
+
+// Buffered reports how many thunks were buffered unforced.
+func (w *ThunkWriter) Buffered() int { return w.buffered }
+
+// Flush forces every buffered thunk (triggering query-store flushes as
+// needed) and returns the rendered page. Force-time panics from lazy
+// errors are converted to an error return.
+func (w *ThunkWriter) Flush() (page string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("webapp: render failed: %v", r)
+		}
+	}()
+	var sb strings.Builder
+	for _, p := range w.parts {
+		switch x := p.(type) {
+		case string:
+			sb.WriteString(x)
+		case thunk.Any:
+			sb.WriteString(renderValue(x.ForceAny()))
+		}
+	}
+	return sb.String(), nil
+}
+
+// renderValue formats a forced value for page output. Slices render as
+// comma-joined items so entity lists produce size-proportional output.
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case []string:
+		return strings.Join(x, ", ")
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
