@@ -233,3 +233,22 @@ func BenchmarkAblation_Memoization(b *testing.B) {
 		b.Fatal("unexpected zero")
 	}
 }
+
+// BenchmarkAblation_BatchMerge regenerates the batch-merge ladder (no dedup
+// / dedup only / dedup + IN-list merging) over both application suites —
+// the internal/merge optimization on top of the paper's batching.
+func BenchmarkAblation_BatchMerge(b *testing.B) {
+	it, om := envs(b)
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = ""
+		for _, env := range []*bench.Env{it, om} {
+			rep, err := bench.MergeAblation(env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report += rep.Format()
+		}
+	}
+	b.Log("\n" + report)
+}

@@ -17,26 +17,37 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|all")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
 	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
 	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
+	mergeOn := flag.Bool("merge", false, "enable the batch query-merge optimizer for suite experiments")
 	flag.Parse()
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps); err != nil {
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int) error {
+func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool) error {
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
+		build := func() (*bench.Env, error) {
+			env, err := bench.NewEnv(id, 1)
+			if err != nil {
+				return nil, err
+			}
+			if mergeOn {
+				env.StoreCfg = bench.MergeConfig()
+			}
+			return env, nil
+		}
 		switch id {
 		case bench.Itracker:
 			if itEnv == nil {
 				var err error
-				itEnv, err = bench.NewEnv(bench.Itracker, 1)
+				itEnv, err = build()
 				if err != nil {
 					return nil, err
 				}
@@ -45,7 +56,7 @@ func run(exp string, rtt time.Duration, txns, reps int) error {
 		default:
 			if omEnv == nil {
 				var err error
-				omEnv, err = bench.NewEnv(bench.OpenMRS, 1)
+				omEnv, err = build()
 				if err != nil {
 					return nil, err
 				}
@@ -167,10 +178,24 @@ func run(exp string, rtt time.Duration, txns, reps int) error {
 			fmt.Print(rep.Format())
 			return nil
 		},
+		"merge": func() error {
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				env, err := needEnv(id)
+				if err != nil {
+					return err
+				}
+				rep, err := bench.MergeAblation(env)
+				if err != nil {
+					return err
+				}
+				fmt.Print(rep.Format())
+			}
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix", "ablation"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix", "ablation", "merge"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -144,7 +144,7 @@ func formPage[T any](a *App, name string, meta *orm.Meta[T], id int64, nKeys, nC
 			if err != nil {
 				return err
 			}
-			c.Put("entity", fmt.Sprintf("%v", e))
+			c.Put("entity", fmt.Sprintf("%v", *e))
 			for _, r := range refs {
 				r(c)
 			}

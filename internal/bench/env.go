@@ -49,8 +49,12 @@ type Env struct {
 	ID    AppID
 	Clock *netsim.VirtualClock
 	Srv   *driver.Server
-	app   appAdapter
-	req   webapp.Params
+	// StoreCfg is the query-store configuration used by LoadPage for
+	// Sloth-mode loads; the zero value is the paper's configuration. The
+	// slothbench -merge flag sets StoreCfg.Merge.Enabled here.
+	StoreCfg querystore.Config
+	app      appAdapter
+	req      webapp.Params
 }
 
 // NewEnv builds and seeds an environment. scale multiplies the default data
@@ -103,21 +107,37 @@ type PageMetrics struct {
 	RoundTrips int64
 	Queries    int64 // statements executed at the database
 	MaxBatch   int
+	MergeSaved int64 // statements eliminated by the merge optimizer
 }
 
 // LoadPage runs one page in the given mode at the given RTT, on a fresh
 // connection and session (the paper restarts state between measurements).
 func (e *Env) LoadPage(page string, mode orm.Mode, rtt time.Duration) (PageMetrics, error) {
+	_, m, err := e.LoadPageHTML(page, mode, rtt, e.StoreCfg)
+	return m, err
+}
+
+// loadPageWithStore runs one Sloth-mode page load with a custom query-store
+// configuration (the store and merge ablations).
+func loadPageWithStore(e *Env, page string, cfg querystore.Config) (PageMetrics, error) {
+	_, m, err := e.LoadPageHTML(page, orm.ModeSloth, 500*time.Microsecond, cfg)
+	return m, err
+}
+
+// LoadPageHTML runs one page load and returns the rendered output alongside
+// the metrics. It is the single load implementation (LoadPage and the
+// ablation loaders delegate here) and the golden-equality hook used to
+// assert that the merge optimizer never changes what a page renders.
+func (e *Env) LoadPageHTML(page string, mode orm.Mode, rtt time.Duration, cfg querystore.Config) (string, PageMetrics, error) {
 	link := netsim.NewLink(e.Clock, rtt)
 	conn := e.Srv.Connect(link)
-	store := querystore.New(conn, querystore.Config{})
+	store := querystore.New(conn, cfg)
 	sess := orm.NewSession(store, mode)
-
 	dbBefore := e.Srv.Stats().DBTime
 	start := e.Clock.Now()
 	res, err := e.app.Load(page, e.req, sess)
 	if err != nil {
-		return PageMetrics{}, fmt.Errorf("bench: %s page %q: %w", mode2str(mode), page, err)
+		return "", PageMetrics{}, fmt.Errorf("bench: %s page %q: %w", mode2str(mode), page, err)
 	}
 	m := PageMetrics{
 		Page:       page,
@@ -128,36 +148,12 @@ func (e *Env) LoadPage(page string, mode orm.Mode, rtt time.Duration) (PageMetri
 		RoundTrips: link.Stats().RoundTrips,
 		Queries:    conn.QueriesSent(),
 		MaxBatch:   store.Stats().MaxBatch,
+		MergeSaved: store.Stats().MergeSaved,
 	}
 	if mode == orm.ModeOriginal {
 		m.MaxBatch = 1
 	}
-	return m, nil
-}
-
-// loadPageWithStore runs one Sloth-mode page load with a custom query-store
-// configuration (the store ablations).
-func loadPageWithStore(e *Env, page string, cfg querystore.Config) (PageMetrics, error) {
-	link := netsim.NewLink(e.Clock, 500*time.Microsecond)
-	conn := e.Srv.Connect(link)
-	store := querystore.New(conn, cfg)
-	sess := orm.NewSession(store, orm.ModeSloth)
-	dbBefore := e.Srv.Stats().DBTime
-	start := e.Clock.Now()
-	res, err := e.app.Load(page, e.req, sess)
-	if err != nil {
-		return PageMetrics{}, err
-	}
-	return PageMetrics{
-		Page:       page,
-		Total:      e.Clock.Now() - start,
-		AppTime:    res.AppTime,
-		DBTime:     e.Srv.Stats().DBTime - dbBefore,
-		NetTime:    link.Stats().NetTime,
-		RoundTrips: link.Stats().RoundTrips,
-		Queries:    conn.QueriesSent(),
-		MaxBatch:   store.Stats().MaxBatch,
-	}, nil
+	return res.HTML, m, nil
 }
 
 func mode2str(m orm.Mode) string {

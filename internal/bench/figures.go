@@ -266,14 +266,14 @@ func (r DBScalingReport) Format() string {
 func AppendixTable(app AppID, comps []Comparison) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== Appendix: %s per-benchmark detail ==\n", app)
-	fmt.Fprintf(&sb, "%-55s %12s %8s %12s %8s %9s %8s\n",
-		"benchmark", "orig time", "r-trips", "sloth time", "r-trips", "maxbatch", "queries")
+	fmt.Fprintf(&sb, "%-55s %12s %8s %12s %8s %9s %8s %7s\n",
+		"benchmark", "orig time", "r-trips", "sloth time", "r-trips", "maxbatch", "queries", "saved")
 	for _, c := range comps {
-		fmt.Fprintf(&sb, "%-55s %12v %8d %12v %8d %9d %8d\n",
+		fmt.Fprintf(&sb, "%-55s %12v %8d %12v %8d %9d %8d %7d\n",
 			c.Page,
 			c.Orig.Total.Round(time.Microsecond), c.Orig.RoundTrips,
 			c.Sloth.Total.Round(time.Microsecond), c.Sloth.RoundTrips,
-			c.Sloth.MaxBatch, c.Sloth.Queries)
+			c.Sloth.MaxBatch, c.Sloth.Queries, c.Sloth.MergeSaved)
 	}
 	return sb.String()
 }

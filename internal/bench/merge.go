@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/merge"
+	"repro/internal/querystore"
+)
+
+// This file holds the batch-merge ablation: the three-way comparison (no
+// dedup / dedup only / dedup + merge) that quantifies what the query-merge
+// optimizer (internal/merge) saves on top of the paper's batching. Dedup
+// removes statements that are textually identical; merging additionally
+// coalesces the 1+N point-lookup families that remain, so the three rows
+// form a ladder of within-batch optimization.
+
+// MergeAblationRow is one configuration's aggregate over a page suite.
+type MergeAblationRow struct {
+	Label      string
+	Time       time.Duration
+	DBTime     time.Duration
+	RoundTrips int64
+	Queries    int64 // statements executed at the database
+	DBRows     int64 // physical rows visited by the executor
+	Saved      int64 // statements eliminated by merging
+}
+
+// MergeAblationReport is the ladder for one application suite.
+type MergeAblationReport struct {
+	App  AppID
+	Rows []MergeAblationRow
+}
+
+// MergeConfig is the query-store configuration the merge experiments use:
+// the paper's store with the batch-merge optimizer switched on.
+func MergeConfig() querystore.Config {
+	return querystore.Config{Merge: merge.Config{Enabled: true}}
+}
+
+// MergeAblation runs the app's full page suite in Sloth mode under the
+// three configurations. Each page load uses a fresh connection and store,
+// as in the paper's methodology.
+func MergeAblation(env *Env) (MergeAblationReport, error) {
+	configs := []struct {
+		label string
+		cfg   querystore.Config
+	}{
+		{"off", querystore.Config{DisableDedup: true}},
+		{"dedup", querystore.Config{}},
+		{"merge", MergeConfig()},
+	}
+	rep := MergeAblationReport{App: env.ID}
+	for _, c := range configs {
+		row := MergeAblationRow{Label: c.label}
+		for _, page := range env.Pages() {
+			rowsBefore := env.Srv.Stats().Rows
+			m, err := loadPageWithStore(env, page, c.cfg)
+			if err != nil {
+				return rep, fmt.Errorf("bench: merge ablation %s/%s: %w", c.label, page, err)
+			}
+			row.Time += m.Total
+			row.DBTime += m.DBTime
+			row.RoundTrips += m.RoundTrips
+			row.Queries += m.Queries
+			row.Saved += m.MergeSaved
+			row.DBRows += env.Srv.Stats().Rows - rowsBefore
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// StatementsSaved reports the statement reduction of the merge row relative
+// to dedup-only batching.
+func (r MergeAblationReport) StatementsSaved() int64 {
+	var dedup, merged int64
+	for _, row := range r.Rows {
+		switch row.Label {
+		case "dedup":
+			dedup = row.Queries
+		case "merge":
+			merged = row.Queries
+		}
+	}
+	return dedup - merged
+}
+
+// Format renders the ablation ladder with the dedup row as baseline.
+func (r MergeAblationReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== Ablation: batch merging, %s full suite (sloth mode) ==\n", r.App)
+	fmt.Fprintf(&sb, "%-8s %14s %14s %12s %10s %10s %8s\n",
+		"config", "total time", "db time", "round trips", "queries", "db rows", "saved")
+	var base MergeAblationRow
+	for _, row := range r.Rows {
+		if row.Label == "dedup" {
+			base = row
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-8s %14v %14v %12d %10d %10d %8d\n",
+			row.Label, row.Time.Round(time.Microsecond), row.DBTime.Round(time.Microsecond),
+			row.RoundTrips, row.Queries, row.DBRows, row.Saved)
+	}
+	if base.Queries > 0 {
+		for _, row := range r.Rows {
+			if row.Label != "merge" {
+				continue
+			}
+			fmt.Fprintf(&sb, "merge vs dedup: %d fewer statements (%.1f%%), db time %v -> %v (%.1f%% less)\n",
+				base.Queries-row.Queries,
+				100*float64(base.Queries-row.Queries)/float64(base.Queries),
+				base.DBTime.Round(time.Microsecond), row.DBTime.Round(time.Microsecond),
+				100*(float64(base.DBTime)-float64(row.DBTime))/float64(base.DBTime))
+		}
+	}
+	return sb.String()
+}

@@ -58,6 +58,12 @@ func (m CostModel) queryCost(rs *sqldb.ResultSet) time.Duration {
 type ServerStats struct {
 	Queries int64
 	Batches int64
+	// Rows is the total physical rows the executor visited. Batch merging
+	// (internal/merge) reduces Queries while leaving Rows essentially
+	// unchanged — the row work is the same, the per-statement overheads are
+	// what disappear — so the pair makes the optimization legible in the
+	// experiment reports.
+	Rows int64
 	// DBTime is total virtual time charged for query execution.
 	DBTime time.Duration
 }
@@ -102,6 +108,7 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 	results := make([]*sqldb.ResultSet, 0, len(stmts))
 	var total time.Duration
 	var parallelMax time.Duration
+	var rowsVisited int64
 
 	flushParallel := func() {
 		total += parallelMax
@@ -118,6 +125,7 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 			return nil, total, err
 		}
 		cost := s.cost.queryCost(rs)
+		rowsVisited += int64(rs.RowsScanned)
 		if sqlparse.IsWrite(parsed) {
 			// Writes serialize: close the current parallel group first.
 			flushParallel()
@@ -135,6 +143,7 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 	s.mu.Lock()
 	s.stats.Queries += int64(len(stmts))
 	s.stats.Batches++
+	s.stats.Rows += rowsVisited
 	s.stats.DBTime += total
 	s.mu.Unlock()
 	s.clock.Advance(total)

@@ -1,0 +1,440 @@
+// Package merge implements Sloth's batch query-merge optimizer: a rewrite
+// pass that runs between the query store's flush and the batch driver's
+// dispatch. The query store already collapses *identical* statements; this
+// subsystem goes further and coalesces statements that are identical except
+// for one equality literal — the classic ORM 1+N shape (`SELECT ... WHERE
+// owner_id = ?` issued once per rendered row) — into a single `WHERE col IN
+// (...)` statement. After execution the merged result set is demultiplexed
+// back into one ResultSet per original statement, keyed by the match
+// column, so callers and cached query ids observe exactly the results the
+// unmerged batch would have produced.
+//
+// The paper (conf_sigmod_CheungMS14, Sec. 6.7) identifies the accumulated
+// batch as an optimization surface; merging is the first optimization here
+// that makes batches *smaller* (fewer, wider statements) rather than just
+// fewer. Every per-statement cost — server dispatch, parse, per-query
+// execution overhead, result-set framing — is paid once per group instead
+// of once per statement.
+//
+// Safety rules (checked per statement, conservatively):
+//
+//   - reads only; writes and transaction control pass through untouched and
+//     act as barriers that close all open groups, so no read is ever moved
+//     across a write;
+//   - single-table SELECTs without DISTINCT, JOIN, GROUP BY, HAVING,
+//     aggregates, LIMIT, or OFFSET;
+//   - the WHERE clause must contain a top-level `col = <literal|param>`
+//     conjunct; the remaining conjuncts, the projection, and the ORDER BY
+//     must be identical across the group (compared with argument values
+//     resolved);
+//   - the match column must appear in the output (star projections
+//     qualify), because demultiplexing keys on its value;
+//   - merged IN lists are capped at Config.MaxInWidth values; wider groups
+//     split into chunks.
+package merge
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// DefaultMaxInWidth bounds the IN list of one merged statement, mirroring
+// the way production drivers cap host-variable counts per statement.
+const DefaultMaxInWidth = 64
+
+// Config controls the optimizer. The zero value disables merging, so a
+// zero-config query store behaves exactly as before this subsystem existed.
+type Config struct {
+	// Enabled turns the rewrite on.
+	Enabled bool
+	// MaxInWidth caps values per merged IN list; <= 0 means
+	// DefaultMaxInWidth.
+	MaxInWidth int
+}
+
+// width returns the effective IN-list cap.
+func (c Config) width() int {
+	if c.MaxInWidth <= 0 {
+		return DefaultMaxInWidth
+	}
+	return c.MaxInWidth
+}
+
+// Stats counts optimizer activity across the batches of one Merger.
+type Stats struct {
+	Batches     int64 // batches rewritten
+	Groups      int64 // merged statements emitted (group chunks)
+	Merged      int64 // original statements absorbed into merged statements
+	Saved       int64 // statements eliminated (Merged - Groups)
+	Ineligible  int64 // read statements that failed a shape check
+	RowsDemuxed int64 // rows routed back to original statements
+}
+
+// Merger is the batch optimizer. Like the query store it serves, it is
+// per-session state and not safe for concurrent use.
+type Merger struct {
+	cfg   Config
+	stats Stats
+}
+
+// New creates a merger.
+func New(cfg Config) *Merger { return &Merger{cfg: cfg} }
+
+// Enabled reports whether the rewrite pass is active.
+func (m *Merger) Enabled() bool { return m.cfg.Enabled }
+
+// Stats snapshots the optimizer counters.
+func (m *Merger) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters.
+func (m *Merger) ResetStats() { m.stats = Stats{} }
+
+// candidate is one statement eligible for merging.
+type candidate struct {
+	sel      *sqlparse.SelectStmt
+	args     []sqldb.Value
+	matchRef *sqlparse.ColRef // column of the `col = value` conjunct
+	matchVal sqldb.Value      // normalized match value
+	others   []sqlparse.Expr  // remaining WHERE conjuncts
+	fp       string
+}
+
+// splitConjuncts flattens a WHERE tree over top-level ANDs.
+func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.Binary); ok && b.Op == sqlparse.OpAnd {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// constOf resolves a Literal or Param to its value. Anything else — column
+// references, computed expressions — disqualifies the conjunct.
+func constOf(e sqlparse.Expr, args []sqldb.Value) (sqldb.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return sqldb.Normalize(x.Value), true
+	case *sqlparse.Param:
+		if x.Index < 0 || x.Index >= len(args) {
+			return nil, false
+		}
+		return sqldb.Normalize(args[x.Index]), true
+	default:
+		return nil, false
+	}
+}
+
+// scalarKey gives a map key for a match value; only these scalar types are
+// mergeable (NULL never equals anything, so it is excluded).
+func scalarKey(v sqldb.Value) (string, bool) {
+	switch x := v.(type) {
+	case int64:
+		return "i" + fmt.Sprint(x), true
+	case string:
+		return "s" + x, true
+	case float64:
+		return "f" + fmt.Sprint(x), true
+	case bool:
+		return "b" + fmt.Sprint(x), true
+	default:
+		return "", false
+	}
+}
+
+// analyze classifies one statement, returning a candidate when it is
+// mergeable and nil otherwise.
+func analyze(st driver.Stmt) *candidate {
+	parsed, err := sqlparse.Parse(st.SQL)
+	if err != nil {
+		return nil
+	}
+	sel, ok := parsed.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil
+	}
+	if sel.Distinct || len(sel.Joins) > 0 || len(sel.GroupBy) > 0 ||
+		sel.Having != nil || sel.Limit >= 0 || sel.Offset > 0 || sel.Where == nil {
+		return nil
+	}
+	// Projection: stars and bare column references only; anything computed
+	// (aggregates especially) changes meaning when rows from other keys
+	// join the set.
+	hasStar := false
+	for _, se := range sel.Cols {
+		if se.Star {
+			if se.StarTable != "" && !strings.EqualFold(se.StarTable, sel.From.Binding()) {
+				return nil
+			}
+			hasStar = true
+			continue
+		}
+		if _, ok := se.Expr.(*sqlparse.ColRef); !ok {
+			return nil
+		}
+	}
+
+	conjuncts := splitConjuncts(sel.Where, nil)
+	c := &candidate{sel: sel, args: st.Args}
+	for _, conj := range conjuncts {
+		if c.matchRef == nil {
+			if ref, val, ok := eqConst(conj, st.Args, sel.From.Binding()); ok {
+				c.matchRef, c.matchVal = ref, val
+				continue
+			}
+		}
+		c.others = append(c.others, conj)
+	}
+	if c.matchRef == nil {
+		return nil
+	}
+	if _, ok := scalarKey(c.matchVal); !ok {
+		return nil
+	}
+	// Demux keys on the match column's value in the result rows, so the
+	// projection must carry it.
+	if !hasStar && !projectionHas(sel.Cols, c.matchRef.Name) {
+		return nil
+	}
+	fp, err := fingerprint(c)
+	if err != nil {
+		return nil
+	}
+	c.fp = fp
+	return c
+}
+
+// eqConst matches a `col = const` (or mirrored) conjunct whose column
+// belongs to the FROM table.
+func eqConst(e sqlparse.Expr, args []sqldb.Value, binding string) (*sqlparse.ColRef, sqldb.Value, bool) {
+	b, ok := e.(*sqlparse.Binary)
+	if !ok || b.Op != sqlparse.OpEq {
+		return nil, nil, false
+	}
+	try := func(colSide, valSide sqlparse.Expr) (*sqlparse.ColRef, sqldb.Value, bool) {
+		ref, ok := colSide.(*sqlparse.ColRef)
+		if !ok {
+			return nil, nil, false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+			return nil, nil, false
+		}
+		v, ok := constOf(valSide, args)
+		if !ok || v == nil {
+			return nil, nil, false
+		}
+		return ref, v, true
+	}
+	if ref, v, ok := try(b.L, b.R); ok {
+		return ref, v, true
+	}
+	return try(b.R, b.L)
+}
+
+// projectionHas reports whether an explicit select list outputs the match
+// column itself under the label demux will look up. An alias that merely
+// *spells* the match column's name over some other column is rejected
+// outright: demux resolves the label positionally, so a shadowing alias
+// would partition rows by the wrong column's values.
+func projectionHas(cols []sqlparse.SelectExpr, name string) bool {
+	found := false
+	for _, se := range cols {
+		if se.Star {
+			continue
+		}
+		ref := se.Expr.(*sqlparse.ColRef) // analyze already checked the type
+		if se.Alias != "" {
+			if strings.EqualFold(se.Alias, name) {
+				return false
+			}
+			continue
+		}
+		if strings.EqualFold(ref.Name, name) {
+			found = true
+		}
+	}
+	return found
+}
+
+// route records where one original statement's result comes from in the
+// rewritten batch.
+type route struct {
+	stmtIdx int         // index into Plan.Stmts
+	merged  bool        // true when the result must be demultiplexed
+	key     sqldb.Value // match value (merged routes only)
+	col     string      // match column label (merged routes only)
+}
+
+// Plan is a rewritten batch plus the routing needed to reconstruct
+// per-original results.
+type Plan struct {
+	// Stmts is the batch to hand to the driver, in an order consistent with
+	// the original: each merged statement sits at its first member's
+	// position, and no read crosses a write.
+	Stmts  []driver.Stmt
+	routes []route
+	m      *Merger
+}
+
+// Saved reports how many statements the rewrite eliminated.
+func (p *Plan) Saved() int { return len(p.routes) - len(p.Stmts) }
+
+// group accumulates the members of one fingerprint while the batch is
+// scanned.
+type group struct {
+	members []int // original statement indexes, in order
+	cands   []*candidate
+}
+
+// Rewrite analyzes a pending batch and coalesces mergeable groups. The
+// returned plan's Stmts execute in place of the originals; Demux then maps
+// the results back. Rewrite never fails: statements it cannot improve (or
+// cannot parse) pass through verbatim.
+func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
+	p := &Plan{m: m, routes: make([]route, len(stmts))}
+	m.stats.Batches++
+
+	cands := make([]*candidate, len(stmts))
+	groups := make(map[string]*group)
+	order := []string{}
+	barrier := 0
+	for i, st := range stmts {
+		if sqlparse.IsWriteSQL(st.SQL) {
+			// Writes close all open groups: merging must not move a read
+			// from one side of a write to the other.
+			barrier++
+			continue
+		}
+		c := analyze(st)
+		if c == nil {
+			m.stats.Ineligible++
+			continue
+		}
+		c.fp = fmt.Sprintf("%d\x1e%s", barrier, c.fp)
+		cands[i] = c
+		g, ok := groups[c.fp]
+		if !ok {
+			g = &group{}
+			groups[c.fp] = g
+			order = append(order, c.fp)
+		}
+		g.members = append(g.members, i)
+		g.cands = append(g.cands, c)
+	}
+
+	// Partition each multi-member group into IN-width chunks of distinct
+	// values. Duplicate match values (possible with dedup disabled) share
+	// the chunk that already carries the value.
+	type chunkInfo struct {
+		values [][]sqldb.Value // per chunk, distinct values in member order
+		byIdx  map[int]int     // original statement index -> chunk ordinal
+		stmt   []int           // per chunk, rewritten-batch index (-1 until emitted)
+	}
+	chunks := make(map[string]*chunkInfo)
+	width := m.cfg.width()
+	for _, fp := range order {
+		g := groups[fp]
+		if len(g.members) < 2 {
+			continue
+		}
+		ci := &chunkInfo{byIdx: make(map[int]int)}
+		seen := make(map[string]int) // value key -> chunk ordinal
+		for k, idx := range g.members {
+			key, _ := scalarKey(g.cands[k].matchVal)
+			if ord, dup := seen[key]; dup {
+				ci.byIdx[idx] = ord
+				continue
+			}
+			if len(ci.values) == 0 || len(ci.values[len(ci.values)-1]) >= width {
+				ci.values = append(ci.values, nil)
+				ci.stmt = append(ci.stmt, -1)
+			}
+			ord := len(ci.values) - 1
+			ci.values[ord] = append(ci.values[ord], g.cands[k].matchVal)
+			seen[key] = ord
+			ci.byIdx[idx] = ord
+		}
+		chunks[fp] = ci
+	}
+
+	// Emit pass: walk originals in order; each merged statement is emitted
+	// at its chunk's first member, so relative order with pass-through
+	// statements (and any write barrier) is preserved.
+	for i, st := range stmts {
+		c := cands[i]
+		var ci *chunkInfo
+		if c != nil {
+			ci = chunks[c.fp]
+		}
+		if ci == nil {
+			// Pass-through: write, ineligible, or singleton group.
+			p.routes[i] = route{stmtIdx: len(p.Stmts)}
+			p.Stmts = append(p.Stmts, st)
+			continue
+		}
+		ord := ci.byIdx[i]
+		if ci.stmt[ord] == -1 {
+			sql, args, err := renderMerged(c, ci.values[ord])
+			if err != nil {
+				// Defensive fallback — candidate shapes are all
+				// renderer-supported, but never let a render bug change
+				// results: execute this statement unmerged.
+				p.routes[i] = route{stmtIdx: len(p.Stmts)}
+				p.Stmts = append(p.Stmts, st)
+				m.stats.Ineligible++
+				continue
+			}
+			ci.stmt[ord] = len(p.Stmts)
+			p.Stmts = append(p.Stmts, driver.Stmt{SQL: sql, Args: args})
+			m.stats.Groups++
+		}
+		p.routes[i] = route{
+			stmtIdx: ci.stmt[ord],
+			merged:  true,
+			key:     c.matchVal,
+			col:     c.matchRef.Name,
+		}
+		m.stats.Merged++
+	}
+	m.stats.Saved += int64(p.Saved())
+	return p
+}
+
+// Demux routes the rewritten batch's results back to the original
+// statements: pass-through statements forward their ResultSet unchanged,
+// and each merged statement's rows are partitioned by the match column.
+// Originals whose key matched no row receive an empty ResultSet with the
+// merged statement's columns — exactly what their own execution would have
+// returned.
+func (p *Plan) Demux(results []*sqldb.ResultSet) ([]*sqldb.ResultSet, error) {
+	if len(results) != len(p.Stmts) {
+		return nil, fmt.Errorf("merge: demux: %d results for %d statements", len(results), len(p.Stmts))
+	}
+	out := make([]*sqldb.ResultSet, len(p.routes))
+	for i, r := range p.routes {
+		rs := results[r.stmtIdx]
+		if !r.merged {
+			out[i] = rs
+			continue
+		}
+		ci, ok := rs.ColIndex(r.col)
+		if !ok {
+			return nil, fmt.Errorf("merge: demux: merged result lacks match column %q", r.col)
+		}
+		sub := &sqldb.ResultSet{Cols: rs.Cols}
+		for _, row := range rs.Rows {
+			if sqldb.Equal(sqldb.Normalize(row[ci]), r.key) {
+				sub.Rows = append(sub.Rows, row)
+			}
+		}
+		sub.RowsScanned = len(sub.Rows)
+		if p.m != nil {
+			p.m.stats.RowsDemuxed += int64(len(sub.Rows))
+		}
+		out[i] = sub
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package merge
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// renderer turns sqlparse expression trees back into SQL text. It runs in
+// one of two modes:
+//
+//   - emit mode (resolve == false): every Literal and Param renders as a `?`
+//     placeholder and its value is appended to args, producing an executable
+//     statement whose argument list is rebuilt in render order. Emitting all
+//     values as parameters sidesteps literal round-tripping (string quoting,
+//     float formats) entirely.
+//   - fingerprint mode (resolve == true): Literals and Params render as
+//     their formatted values, so two statements that differ only in SQL
+//     spelling (`id = 3` vs `id = ?` with arg 3) fingerprint identically.
+//     Fingerprint output is never parsed, only compared.
+type renderer struct {
+	sb      strings.Builder
+	resolve bool
+	inArgs  []sqldb.Value // original statement args (Param lookup)
+	outArgs []sqldb.Value // rebuilt args (emit mode)
+	err     error
+}
+
+func (r *renderer) fail(format string, a ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("merge: render: "+format, a...)
+	}
+}
+
+func (r *renderer) str(s string) { r.sb.WriteString(s) }
+
+func (r *renderer) value(v sqldb.Value) {
+	if r.resolve {
+		r.str(sqldb.Format(sqldb.Normalize(v)))
+		return
+	}
+	r.str("?")
+	r.outArgs = append(r.outArgs, v)
+}
+
+func (r *renderer) expr(e sqlparse.Expr) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		r.value(x.Value)
+	case *sqlparse.Param:
+		if x.Index < 0 || x.Index >= len(r.inArgs) {
+			r.fail("param %d out of range (%d args)", x.Index, len(r.inArgs))
+			return
+		}
+		r.value(r.inArgs[x.Index])
+	case *sqlparse.ColRef:
+		r.str(x.String())
+	case *sqlparse.Binary:
+		r.str("(")
+		r.expr(x.L)
+		r.str(" " + x.Op.String() + " ")
+		r.expr(x.R)
+		r.str(")")
+	case *sqlparse.Unary:
+		if x.Neg {
+			r.str("(-")
+		} else {
+			r.str("(NOT ")
+		}
+		r.expr(x.Expr)
+		r.str(")")
+	case *sqlparse.FuncCall:
+		r.str(x.Name + "(")
+		if x.Star {
+			r.str("*")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				r.str(", ")
+			}
+			r.expr(a)
+		}
+		r.str(")")
+	case *sqlparse.InList:
+		r.expr(x.Expr)
+		if x.Not {
+			r.str(" NOT")
+		}
+		r.str(" IN (")
+		for i, a := range x.List {
+			if i > 0 {
+				r.str(", ")
+			}
+			r.expr(a)
+		}
+		r.str(")")
+	case *sqlparse.IsNullExpr:
+		r.expr(x.Expr)
+		if x.Not {
+			r.str(" IS NOT NULL")
+		} else {
+			r.str(" IS NULL")
+		}
+	case *sqlparse.LikeExpr:
+		r.expr(x.Expr)
+		if x.Not {
+			r.str(" NOT")
+		}
+		r.str(" LIKE ")
+		r.expr(x.Pattern)
+	case *sqlparse.BetweenExpr:
+		r.expr(x.Expr)
+		r.str(" BETWEEN ")
+		r.expr(x.Lo)
+		r.str(" AND ")
+		r.expr(x.Hi)
+	default:
+		r.fail("unsupported expression %T", e)
+	}
+}
+
+func (r *renderer) selectExpr(se sqlparse.SelectExpr) {
+	switch {
+	case se.Star && se.StarTable == "":
+		r.str("*")
+	case se.Star:
+		r.str(se.StarTable + ".*")
+	default:
+		r.expr(se.Expr)
+		if se.Alias != "" {
+			r.str(" AS " + se.Alias)
+		}
+	}
+}
+
+func (r *renderer) tableRef(t sqlparse.TableRef) {
+	r.str(t.Name)
+	if t.Alias != "" {
+		r.str(" AS " + t.Alias)
+	}
+}
+
+func (r *renderer) orderBy(items []sqlparse.OrderItem) {
+	if len(items) == 0 {
+		return
+	}
+	r.str(" ORDER BY ")
+	for i, ob := range items {
+		if i > 0 {
+			r.str(", ")
+		}
+		r.expr(ob.Expr)
+		if ob.Desc {
+			r.str(" DESC")
+		}
+	}
+}
+
+// renderMerged emits the merged statement for one group chunk: the shared
+// projection, table, and residual conjuncts of the exemplar statement, with
+// the match predicate replaced by `col IN (?, ...)` over the chunk's values.
+// Every value renders as a parameter; the rebuilt argument list is returned
+// alongside the SQL.
+func renderMerged(c *candidate, values []sqldb.Value) (string, []sqldb.Value, error) {
+	r := &renderer{inArgs: c.args}
+	r.str("SELECT ")
+	for i, se := range c.sel.Cols {
+		if i > 0 {
+			r.str(", ")
+		}
+		r.selectExpr(se)
+	}
+	r.str(" FROM ")
+	r.tableRef(c.sel.From)
+	r.str(" WHERE ")
+	r.str(c.matchRef.String())
+	r.str(" IN (")
+	for i, v := range values {
+		if i > 0 {
+			r.str(", ")
+		}
+		r.value(v)
+	}
+	r.str(")")
+	for _, other := range c.others {
+		r.str(" AND ")
+		r.expr(other)
+	}
+	r.orderBy(c.sel.OrderBy)
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	return r.sb.String(), r.outArgs, nil
+}
+
+// fingerprint canonicalizes everything about a candidate except the matched
+// value: table, projection, residual predicates (with argument values
+// resolved), and ORDER BY. Statements with equal fingerprints differ only in
+// the one equality literal and are safe to coalesce.
+func fingerprint(c *candidate) (string, error) {
+	r := &renderer{resolve: true, inArgs: c.args}
+	r.str(strings.ToLower(c.sel.From.Name))
+	r.str("\x1f")
+	r.str(strings.ToLower(c.sel.From.Binding()))
+	r.str("\x1f")
+	for _, se := range c.sel.Cols {
+		r.selectExpr(se)
+		r.str(",")
+	}
+	r.str("\x1f")
+	r.str(strings.ToLower(c.matchRef.String()))
+	r.str("\x1f")
+	// The match value's type is part of the shape: the engine's index
+	// lookup is type-strict while general comparison promotes int/float,
+	// so values of different types must never share an IN list — merging
+	// them could hand a statement rows its own execution would not return.
+	key, _ := scalarKey(c.matchVal)
+	r.str(key[:1])
+	r.str("\x1f")
+	for _, other := range c.others {
+		r.expr(other)
+		r.str("\x1f")
+	}
+	r.str("\x1f")
+	r.orderBy(c.sel.OrderBy)
+	if r.err != nil {
+		return "", r.err
+	}
+	return r.sb.String(), nil
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/driver"
+	"repro/internal/merge"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/sqlparse"
 	"repro/internal/thunk"
@@ -40,6 +41,11 @@ type Config struct {
 	// this many statements — the size-triggered execution strategy the
 	// paper sketches as future work (Sec. 6.7).
 	BatchCap int
+	// Merge configures the batch query-merge optimizer (internal/merge):
+	// when enabled, a flushed batch is rewritten so point-lookup SELECTs
+	// that differ only in one equality value execute as a single IN-list
+	// statement, and results are demultiplexed back per original query.
+	Merge merge.Config
 }
 
 // Stats counts store activity for the experiment harness.
@@ -48,8 +54,10 @@ type Stats struct {
 	DedupHits     int64 // Register calls answered with an existing id
 	Executed      int64 // statements actually sent to the database
 	Batches       int64 // batches flushed
-	MaxBatch      int   // largest batch size flushed
+	MaxBatch      int   // largest batch size flushed (before merging)
 	ForcedByWrite int64 // flushes triggered by a write registration
+	MergeGroups   int64 // IN-list statements emitted by the merge optimizer
+	MergeSaved    int64 // statements eliminated by the merge optimizer
 }
 
 // pending is one statement waiting in the current batch.
@@ -64,6 +72,7 @@ type pending struct {
 type Store struct {
 	conn   *driver.Conn
 	cfg    Config
+	merger *merge.Merger // nil unless cfg.Merge.Enabled
 	queue  []pending
 	bySQL  map[string]QueryID // dedup key -> pending id
 	cache  map[QueryID]*sqldb.ResultSet
@@ -73,12 +82,16 @@ type Store struct {
 
 // New creates a query store over an established connection.
 func New(conn *driver.Conn, cfg Config) *Store {
-	return &Store{
+	s := &Store{
 		conn:  conn,
 		cfg:   cfg,
 		bySQL: make(map[string]QueryID),
 		cache: make(map[QueryID]*sqldb.ResultSet),
 	}
+	if cfg.Merge.Enabled {
+		s.merger = merge.New(cfg.Merge)
+	}
+	return s
 }
 
 // Conn returns the underlying connection.
@@ -88,7 +101,21 @@ func (s *Store) Conn() *driver.Conn { return s.conn }
 func (s *Store) Stats() Stats { return s.stats }
 
 // ResetStats zeroes the counters (the cache and pending queue are kept).
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() {
+	s.stats = Stats{}
+	if s.merger != nil {
+		s.merger.ResetStats()
+	}
+}
+
+// MergeStats snapshots the merge optimizer's counters; the zero value when
+// merging is disabled.
+func (s *Store) MergeStats() merge.Stats {
+	if s.merger == nil {
+		return merge.Stats{}
+	}
+	return s.merger.Stats()
+}
 
 // PendingLen reports the size of the unexecuted batch.
 func (s *Store) PendingLen() int { return len(s.queue) }
@@ -203,17 +230,40 @@ func (s *Store) Flush() error {
 	for i, p := range batch {
 		stmts[i] = p.stmt
 	}
-	results, err := s.conn.ExecBatch(stmts)
-	if err != nil {
-		return err
-	}
-	for i, p := range batch {
-		s.cache[p.id] = results[i]
+	sent := len(stmts)
+	if s.merger != nil {
+		// Batch-merge optimization: coalesce compatible point lookups into
+		// IN-list statements, execute the smaller batch, and demultiplex
+		// the results so each original query id gets exactly the rows its
+		// own statement would have returned.
+		plan := s.merger.Rewrite(stmts)
+		results, err := s.conn.ExecBatch(plan.Stmts)
+		if err != nil {
+			return err
+		}
+		demuxed, err := plan.Demux(results)
+		if err != nil {
+			return err
+		}
+		for i, p := range batch {
+			s.cache[p.id] = demuxed[i]
+		}
+		sent = len(plan.Stmts)
+		s.stats.MergeSaved += int64(plan.Saved())
+		s.stats.MergeGroups = s.merger.Stats().Groups
+	} else {
+		results, err := s.conn.ExecBatch(stmts)
+		if err != nil {
+			return err
+		}
+		for i, p := range batch {
+			s.cache[p.id] = results[i]
+		}
 	}
 	// Reuse the drained queue's backing array for the next batch.
 	s.queue = batch[:0]
 	s.stats.Batches++
-	s.stats.Executed += int64(len(batch))
+	s.stats.Executed += int64(sent)
 	if len(batch) > s.stats.MaxBatch {
 		s.stats.MaxBatch = len(batch)
 	}

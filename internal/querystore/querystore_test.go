@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/merge"
 	"repro/internal/netsim"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/engine"
@@ -377,5 +378,54 @@ func TestQuickStoreEquivalentToDirect(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMergeEnabledStoreEquivalence runs the same registration sequence
+// through a plain store and a merge-enabled store, requiring identical
+// results per query id and strictly fewer executed statements.
+func TestMergeEnabledStoreEquivalence(t *testing.T) {
+	plain, _ := rig(t, Config{})
+	merged, _ := rig(t, Config{Merge: merge.Config{Enabled: true}})
+
+	register := func(s *Store) []QueryID {
+		var ids []QueryID
+		for i := 1; i <= 3; i++ {
+			id, err := s.Register("SELECT id, name, qty FROM items WHERE id = ?", int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		id, err := s.Register("SELECT id, name FROM items WHERE qty > ?", int64(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(ids, id)
+	}
+
+	plainIDs := register(plain)
+	mergedIDs := register(merged)
+	for i := range plainIDs {
+		want, err := plain.ResultSet(plainIDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := merged.ResultSet(mergedIDs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want.Cols) != fmt.Sprint(got.Cols) || fmt.Sprint(want.Rows) != fmt.Sprint(got.Rows) {
+			t.Fatalf("query %d: merged result differs\nwant %v %v\ngot  %v %v", i, want.Cols, want.Rows, got.Cols, got.Rows)
+		}
+	}
+
+	if p, m := plain.Stats(), merged.Stats(); m.Executed >= p.Executed {
+		t.Fatalf("merge saved nothing: plain executed %d, merged %d", p.Executed, m.Executed)
+	} else if m.MergeSaved != p.Executed-m.Executed {
+		t.Fatalf("MergeSaved = %d, want %d", m.MergeSaved, p.Executed-m.Executed)
+	}
+	if ms := merged.MergeStats(); ms.Merged != 3 || ms.Groups != 1 {
+		t.Fatalf("merge stats = %+v, want 3 merged into 1 group", ms)
 	}
 }

@@ -113,10 +113,12 @@ func (s *Session) sourceRows(env *rowEnv, t *storage.Table, binding string, wher
 		rows = append(rows, row)
 	}
 
-	if ord, val, ok := s.indexablePredicate(t, binding, where, args); ok {
-		for _, id := range t.Lookup(ord, val) {
-			if r, ok := t.Get(id); ok {
-				emit(r)
+	if ord, vals, ok := s.indexablePredicate(t, binding, where, args); ok {
+		for _, val := range vals {
+			for _, id := range t.Lookup(ord, val) {
+				if r, ok := t.Get(id); ok {
+					emit(r)
+				}
 			}
 		}
 		return rows, nil
@@ -128,11 +130,14 @@ func (s *Session) sourceRows(env *rowEnv, t *storage.Table, binding string, wher
 	return rows, nil
 }
 
-// indexablePredicate looks for a top-level AND-ed `col = value` predicate
-// over an indexed column of table t bound as binding, where value is a
-// literal or parameter (no column references). Returns the column ordinal
-// and the value.
-func (s *Session) indexablePredicate(t *storage.Table, binding string, e sqlparse.Expr, args []sqldb.Value) (int, sqldb.Value, bool) {
+// indexablePredicate looks for a top-level AND-ed `col = value` or `col IN
+// (values...)` predicate over an indexed column of table t bound as
+// binding, where the values are literals or parameters (no column
+// references). Returns the column ordinal and the candidate values to look
+// up. The caller still applies the full WHERE filter afterwards, so the
+// lookup may over-approximate, but it must never produce a row twice;
+// IN values are therefore deduplicated.
+func (s *Session) indexablePredicate(t *storage.Table, binding string, e sqlparse.Expr, args []sqldb.Value) (int, []sqldb.Value, bool) {
 	switch x := e.(type) {
 	case nil:
 		return 0, nil, false
@@ -145,12 +150,55 @@ func (s *Session) indexablePredicate(t *storage.Table, binding string, e sqlpars
 			return s.indexablePredicate(t, binding, x.R, args)
 		case sqlparse.OpEq:
 			if ord, v, ok := matchEq(t, binding, x.L, x.R, args); ok {
-				return ord, v, true
+				return ord, []sqldb.Value{v}, true
 			}
-			return matchEq(t, binding, x.R, x.L, args)
+			if ord, v, ok := matchEq(t, binding, x.R, x.L, args); ok {
+				return ord, []sqldb.Value{v}, true
+			}
 		}
+	case *sqlparse.InList:
+		return matchIn(t, binding, x, args)
 	}
 	return 0, nil, false
+}
+
+// matchIn checks a non-negated `col IN (const, ...)` shape against table t,
+// the access path that makes merged batch statements (internal/merge)
+// index-accelerated multi-point lookups instead of scans. NULL members can
+// never match and are skipped; duplicate members are looked up once.
+func matchIn(t *storage.Table, binding string, in *sqlparse.InList, args []sqldb.Value) (int, []sqldb.Value, bool) {
+	if in.Not {
+		return 0, nil, false
+	}
+	ref, ok := in.Expr.(*sqlparse.ColRef)
+	if !ok {
+		return 0, nil, false
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+		return 0, nil, false
+	}
+	ord, ok := t.ColOrdinal(ref.Name)
+	if !ok || !t.HasIndex(ord) {
+		return 0, nil, false
+	}
+	vals := make([]sqldb.Value, 0, len(in.List))
+	seen := make(map[string]bool, len(in.List))
+	for _, m := range in.List {
+		v, ok := constValue(m, args)
+		if !ok {
+			return 0, nil, false
+		}
+		if v == nil {
+			continue
+		}
+		key := sqldb.Format(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		vals = append(vals, v)
+	}
+	return ord, vals, true
 }
 
 // matchEq checks `colSide = valSide` shape against table t.

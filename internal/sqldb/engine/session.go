@@ -252,8 +252,10 @@ func (s *Session) execDelete(st *sqlparse.DeleteStmt, args []sqldb.Value) (*sqld
 func (s *Session) matchRows(t *storage.Table, binding string, where sqlparse.Expr, env *rowEnv, args []sqldb.Value) ([]storage.RowID, int, error) {
 	var candidates []storage.RowID
 	scanned := 0
-	if ord, val, ok := s.indexablePredicate(t, binding, where, args); ok {
-		candidates = t.Lookup(ord, val)
+	if ord, vals, ok := s.indexablePredicate(t, binding, where, args); ok {
+		for _, val := range vals {
+			candidates = append(candidates, t.Lookup(ord, val)...)
+		}
 	} else {
 		t.Scan(func(id storage.RowID, _ storage.Row) bool {
 			candidates = append(candidates, id)

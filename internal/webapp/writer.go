@@ -9,6 +9,7 @@ package webapp
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"repro/internal/thunk"
@@ -85,7 +86,11 @@ func (w *ThunkWriter) Flush() (page string, err error) {
 }
 
 // renderValue formats a forced value for page output. Slices render as
-// comma-joined items so entity lists produce size-proportional output.
+// comma-joined items so entity lists produce size-proportional output, and
+// pointers render their referent: page bytes must be a pure function of the
+// data (never of allocation addresses), which is what lets the golden
+// equality tests compare optimized and unoptimized executions byte for
+// byte.
 func renderValue(v any) string {
 	switch x := v.(type) {
 	case nil:
@@ -96,7 +101,20 @@ func renderValue(v any) string {
 		return strings.Join(x, ", ")
 	case fmt.Stringer:
 		return x.String()
-	default:
-		return fmt.Sprintf("%v", x)
 	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return ""
+		}
+		return renderValue(rv.Elem().Interface())
+	case reflect.Slice:
+		parts := make([]string, rv.Len())
+		for i := range parts {
+			parts[i] = renderValue(rv.Index(i).Interface())
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("%v", v)
 }
