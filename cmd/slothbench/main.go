@@ -14,23 +14,32 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dispatch"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|all")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
 	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
 	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
 	mergeOn := flag.Bool("merge", false, "enable the batch query-merge optimizer for suite experiments")
+	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
+	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8,16)")
 	flag.Parse()
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn); err != nil {
+	kind, ok := dispatch.ParseKind(*dispatchFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "slothbench: unknown -dispatch %q\n", *dispatchFlag)
+		os.Exit(1)
+	}
+
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, kind, *dispatchFlag != "", *sessions); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool) error {
+func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool, kind dispatch.Kind, kindSet bool, sessions int) error {
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
 		build := func() (*bench.Env, error) {
@@ -41,6 +50,7 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool) error {
 			if mergeOn {
 				env.StoreCfg = bench.MergeConfig()
 			}
+			env.StoreCfg.Dispatch = kind
 			return env, nil
 		}
 		switch id {
@@ -192,10 +202,28 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool) error {
 			}
 			return nil
 		},
+		"throughput": func() error {
+			counts := []int{1, 2, 4, 8, 16}
+			if sessions > 0 {
+				counts = []int{sessions}
+			}
+			kinds := []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared}
+			if kindSet {
+				kinds = []dispatch.Kind{kind}
+			}
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				rep, err := bench.ConcurrentThroughput(id, counts, kinds, rtt)
+				if err != nil {
+					return err
+				}
+				fmt.Print(rep.Format())
+			}
+			return nil
+		},
 	}
 
 	if exp == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix", "ablation", "merge"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "appendix", "ablation", "merge", "throughput"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

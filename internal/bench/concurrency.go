@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/netsim"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+)
+
+// This file is the Fig. 7-style concurrent throughput experiment for the
+// dispatch pipeline: N closed-loop sessions replay the full page suite
+// against ONE database server, each session on its own virtual timeline,
+// and the experiment reports simulated pages per second from the makespan.
+// Unlike the queueing-model Throughput (fig7), which derives curves from
+// single-session demands, this experiment actually RUNS the concurrency:
+// session goroutines share the server's occupancy timeline (batches queue
+// for capacity), the async dispatcher overlaps batch execution with
+// app-server compute, and the shared dispatcher coalesces identical
+// lookups across sessions in the hub window. It is also the stress test
+// that keeps the server path honest under `go test -race`.
+
+// ConcurrencyRow is one (strategy, sessions) measurement.
+type ConcurrencyRow struct {
+	Kind     dispatch.Kind
+	Sessions int
+	Pages    int           // total page loads completed
+	Makespan time.Duration // max session virtual time
+	Rate     float64       // pages per simulated second
+	AvgPage  time.Duration // mean page latency across sessions
+
+	DBStmts   int64         // statements executed at the database
+	DBTime    time.Duration // server busy time
+	QueueWait time.Duration // time batches queued for server capacity
+	Overlap   time.Duration // execution time hidden behind app compute
+	Windows   int64         // shared windows closed
+	Coalesced int64         // statements answered by another session's entry
+}
+
+// ConcurrencyReport is the dispatch-strategy throughput comparison.
+type ConcurrencyReport struct {
+	App  AppID
+	RTT  time.Duration
+	Rows []ConcurrencyRow
+}
+
+// Rate returns the row for (kind, sessions), if present.
+func (r ConcurrencyReport) Row(kind dispatch.Kind, sessions int) (ConcurrencyRow, bool) {
+	for _, row := range r.Rows {
+		if row.Kind == kind && row.Sessions == sessions {
+			return row, true
+		}
+	}
+	return ConcurrencyRow{}, false
+}
+
+// ConcurrentThroughput replays the app's page suite under every listed
+// session count and dispatch strategy. Each cell runs on a freshly seeded
+// environment so server occupancy and data state never leak between
+// configurations.
+func ConcurrentThroughput(id AppID, sessionCounts []int, kinds []dispatch.Kind, rtt time.Duration) (ConcurrencyReport, error) {
+	rep := ConcurrencyReport{App: id, RTT: rtt}
+	for _, n := range sessionCounts {
+		for _, kind := range kinds {
+			row, err := replayConcurrent(id, n, kind, rtt)
+			if err != nil {
+				return rep, fmt.Errorf("bench: throughput %s x%d: %w", kind, n, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// replayConcurrent is one cell: n sessions, one strategy. Sessions load
+// pages in lockstep rounds — every session loads page k concurrently, then
+// a barrier — which keeps their virtual clocks aligned (the occupancy
+// model assumes comparable timelines) and gives the shared window its
+// natural coalescing opportunity, concurrent requests for the same page.
+func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (ConcurrencyRow, error) {
+	env, err := NewEnv(id, 1)
+	if err != nil {
+		return ConcurrencyRow{}, err
+	}
+	row := ConcurrencyRow{Kind: kind, Sessions: n}
+
+	var hub *dispatch.Hub
+	if kind == dispatch.KindShared {
+		hub = env.newHub(rtt, querystore.Config{})
+		// Close windows at the session quorum; a demander holds the window
+		// open briefly (real time, not simulated) for stragglers.
+		hub.SetWindow(n, 2*time.Millisecond)
+	}
+
+	clocks := make([]*netsim.VirtualClock, n)
+	sessions := make([]*orm.Session, n)
+	stores := make([]*querystore.Store, n)
+	for i := range clocks {
+		clocks[i] = netsim.NewVirtualClock()
+		conn := env.Srv.Connect(netsim.NewLink(clocks[i], rtt))
+		stores[i] = querystore.New(conn, querystore.Config{Dispatch: kind, Hub: hub})
+		sessions[i] = orm.NewSession(stores[i], orm.ModeSloth)
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	var overlap time.Duration
+	var mu sync.Mutex
+	var firstErr error
+
+	for _, page := range env.Pages() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// The identity map is per request: clear between pages so
+				// every load re-fetches, like a fresh ORM session.
+				sessions[i].Clear()
+				if _, err := env.LoadInto(page, sessions[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("session %d page %q: %w", i, page, err)
+					}
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return row, firstErr
+		}
+		if hub != nil {
+			// Drain speculative reads nobody forced, so windows never mix
+			// statements from different lockstep rounds.
+			hub.CloseWindow()
+		}
+	}
+
+	row.Pages = n * len(env.Pages())
+	for i := range clocks {
+		if t := clocks[i].Now(); t > row.Makespan {
+			row.Makespan = t
+		}
+		row.AvgPage += clocks[i].Now()
+		overlap += stores[i].Dispatcher().Stats().OverlapSaved
+	}
+	row.AvgPage /= time.Duration(row.Pages)
+	if row.Makespan > 0 {
+		row.Rate = float64(row.Pages) / row.Makespan.Seconds()
+	}
+	srv := env.Srv.Stats()
+	row.DBStmts = srv.Queries
+	row.DBTime = srv.DBTime
+	row.QueueWait = srv.QueueWait
+	row.Overlap = overlap
+	if hub != nil {
+		hs := hub.Stats()
+		row.Windows = hs.Windows
+		row.Coalesced = hs.Coalesced
+	}
+	return row, nil
+}
+
+// Format renders the throughput table, grouped by session count.
+func (r ConcurrencyReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== Throughput: %d-page %s suite, concurrent sessions, rtt %v ==\n",
+		pagesPerRow(r), r.App, r.RTT)
+	fmt.Fprintf(&sb, "%8s %9s %10s %12s %12s %9s %11s %11s %10s\n",
+		"sessions", "dispatch", "pages/s", "avg page", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
+	last := -1
+	for _, row := range r.Rows {
+		if last != -1 && row.Sessions != last {
+			sb.WriteByte('\n')
+		}
+		last = row.Sessions
+		fmt.Fprintf(&sb, "%8d %9s %10.1f %12v %12v %9d %11v %11v %10d\n",
+			row.Sessions, row.Kind, row.Rate,
+			row.AvgPage.Round(time.Microsecond),
+			row.Makespan.Round(10*time.Microsecond),
+			row.DBStmts,
+			row.QueueWait.Round(time.Microsecond),
+			row.Overlap.Round(time.Microsecond),
+			row.Coalesced)
+	}
+	for _, n := range sessionCounts(r) {
+		s, okS := r.Row(dispatch.KindSync, n)
+		a, okA := r.Row(dispatch.KindAsync, n)
+		sh, okSh := r.Row(dispatch.KindShared, n)
+		if okS && okA && okSh && s.Rate > 0 {
+			fmt.Fprintf(&sb, "x%d: async %.2fx, shared %.2fx over sync\n",
+				n, a.Rate/s.Rate, sh.Rate/s.Rate)
+		}
+	}
+	return sb.String()
+}
+
+func pagesPerRow(r ConcurrencyReport) int {
+	if len(r.Rows) == 0 || r.Rows[0].Sessions == 0 {
+		return 0
+	}
+	return r.Rows[0].Pages / r.Rows[0].Sessions
+}
+
+func sessionCounts(r ConcurrencyReport) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, row := range r.Rows {
+		if !seen[row.Sessions] {
+			seen[row.Sessions] = true
+			out = append(out, row.Sessions)
+		}
+	}
+	return out
+}

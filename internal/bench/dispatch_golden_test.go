@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/orm"
+	"repro/internal/querystore"
+)
+
+// These tests are the dispatch pipeline's golden-equality harness: every
+// page of both evaluation applications must render byte-identically under
+// the synchronous, asynchronous, and shared dispatch strategies — the
+// strategies may only change WHEN batches execute, never what any query
+// observes. The throughput test pins the acceptance criterion: at 8
+// concurrent sessions the deferred strategies must beat the synchronous
+// one in simulated pages per second.
+
+func dispatchGoldenSuite(t *testing.T, id AppID) {
+	t.Helper()
+	env, err := NewEnv(id, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := 500 * time.Microsecond
+	kinds := []dispatch.Kind{dispatch.KindAsync, dispatch.KindShared}
+	for _, page := range env.Pages() {
+		want, _, err := env.LoadPageHTML(page, orm.ModeSloth, rtt, querystore.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range kinds {
+			got, _, err := env.LoadPageHTML(page, orm.ModeSloth, rtt, querystore.Config{Dispatch: kind})
+			if err != nil {
+				t.Fatalf("%s %q under %s: %v", id, page, kind, err)
+			}
+			if got != want {
+				t.Fatalf("%s %q: %s dispatch render differs\n--- sync ---\n%s\n--- %s ---\n%s",
+					id, page, kind, want, kind, got)
+			}
+		}
+	}
+}
+
+func TestDispatchGoldenItracker(t *testing.T) { dispatchGoldenSuite(t, Itracker) }
+func TestDispatchGoldenOpenMRS(t *testing.T)  { dispatchGoldenSuite(t, OpenMRS) }
+
+// TestDispatchGoldenWithMerge spot-checks that the merge stage composes
+// with every dispatcher on the heaviest 1+N pages.
+func TestDispatchGoldenWithMerge(t *testing.T) {
+	cases := []struct {
+		id   AppID
+		page string
+	}{
+		{Itracker, "module-projects/list projects.jsp"},
+		{OpenMRS, "encounters/encounterDisplay.jsp"},
+	}
+	rtt := 500 * time.Microsecond
+	for _, tc := range cases {
+		env, err := NewEnv(tc.id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := env.LoadPageHTML(tc.page, orm.ModeSloth, rtt, querystore.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared} {
+			cfg := MergeConfig()
+			cfg.Dispatch = kind
+			got, _, err := env.LoadPageHTML(tc.page, orm.ModeSloth, rtt, cfg)
+			if err != nil {
+				t.Fatalf("%s %q merge+%s: %v", tc.id, tc.page, kind, err)
+			}
+			if got != want {
+				t.Fatalf("%s %q: merge+%s render differs", tc.id, tc.page, kind)
+			}
+		}
+	}
+}
+
+// TestConcurrentThroughputGains is the Fig. 7-style acceptance check: at 8
+// concurrent sessions, async and shared dispatch must deliver more
+// simulated pages per second than synchronous dispatch, and the shared
+// window must actually coalesce statements across sessions.
+func TestConcurrentThroughputGains(t *testing.T) {
+	kinds := []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared}
+	rep, err := ConcurrentThroughput(Itracker, []int{8}, kinds, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncRow, ok := rep.Row(dispatch.KindSync, 8)
+	if !ok {
+		t.Fatal("missing sync row")
+	}
+	asyncRow, _ := rep.Row(dispatch.KindAsync, 8)
+	sharedRow, _ := rep.Row(dispatch.KindShared, 8)
+
+	if asyncRow.Rate <= syncRow.Rate {
+		t.Errorf("async rate %.1f <= sync rate %.1f", asyncRow.Rate, syncRow.Rate)
+	}
+	if sharedRow.Rate <= syncRow.Rate {
+		t.Errorf("shared rate %.1f <= sync rate %.1f", sharedRow.Rate, syncRow.Rate)
+	}
+	if asyncRow.Overlap <= 0 {
+		t.Error("async overlapped no execution time")
+	}
+	if sharedRow.Coalesced <= 0 {
+		t.Error("shared window coalesced nothing across 8 identical sessions")
+	}
+	t.Log("\n" + rep.Format())
+}
+
+// TestConcurrentReplaySingleSessionParity: with one session and the sync
+// strategy, the concurrent harness must agree with the per-page loader's
+// totals — same statements at the server, and no queueing.
+func TestConcurrentReplaySingleSessionParity(t *testing.T) {
+	row, err := replayConcurrent(Itracker, 1, dispatch.KindSync, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.QueueWait != 0 {
+		t.Errorf("single sync session queued %v", row.QueueWait)
+	}
+	if row.Overlap != 0 {
+		t.Errorf("sync dispatch overlapped %v", row.Overlap)
+	}
+
+	env, err := NewEnv(Itracker, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries int64
+	for _, page := range env.Pages() {
+		m, err := env.LoadPage(page, orm.ModeSloth, 500*time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries += m.Queries
+	}
+	if row.DBStmts != queries {
+		t.Errorf("concurrent harness executed %d statements, per-page loader %d", row.DBStmts, queries)
+	}
+}

@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/apps/itracker"
 	"repro/internal/apps/openmrs"
+	"repro/internal/dispatch"
 	"repro/internal/driver"
+	"repro/internal/merge"
 	"repro/internal/netsim"
 	"repro/internal/orm"
 	"repro/internal/querystore"
@@ -97,6 +99,25 @@ func NewEnv(id AppID, scale int) (*Env, error) {
 // Pages lists the benchmark pages.
 func (e *Env) Pages() []string { return e.app.Pages() }
 
+// newHub builds a cross-session accumulation window over its own
+// connection to the env's server, mirroring the store config's merge stage
+// at the window level.
+func (e *Env) newHub(rtt time.Duration, cfg querystore.Config) *dispatch.Hub {
+	conn := e.Srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), rtt))
+	var stages []dispatch.Stage
+	if cfg.Merge.Enabled {
+		stages = append(stages, dispatch.MergeStage(merge.New(cfg.Merge)))
+	}
+	return dispatch.NewHub(conn, 0, stages...)
+}
+
+// LoadInto replays one page into an existing session — the concurrent
+// throughput experiment's entry point, where sessions keep their own
+// clocks, connections, and dispatchers across a whole replay.
+func (e *Env) LoadInto(page string, sess *orm.Session) (*webapp.Result, error) {
+	return e.app.Load(page, e.req, sess)
+}
+
 // PageMetrics reports one page load.
 type PageMetrics struct {
 	Page       string
@@ -127,11 +148,19 @@ func loadPageWithStore(e *Env, page string, cfg querystore.Config) (PageMetrics,
 // LoadPageHTML runs one page load and returns the rendered output alongside
 // the metrics. It is the single load implementation (LoadPage and the
 // ablation loaders delegate here) and the golden-equality hook used to
-// assert that the merge optimizer never changes what a page renders.
+// assert that neither the merge optimizer nor any dispatch strategy
+// changes what a page renders. A shared-dispatch config without a Hub gets
+// an ephemeral single-session hub (its window closes on demand); note that
+// shared windows execute on the hub's connection, so the per-session
+// NetTime/RoundTrips metrics understate shared-mode traffic.
 func (e *Env) LoadPageHTML(page string, mode orm.Mode, rtt time.Duration, cfg querystore.Config) (string, PageMetrics, error) {
 	link := netsim.NewLink(e.Clock, rtt)
 	conn := e.Srv.Connect(link)
+	if cfg.Dispatch == dispatch.KindShared && cfg.Hub == nil {
+		cfg.Hub = e.newHub(rtt, cfg)
+	}
 	store := querystore.New(conn, cfg)
+	defer store.Close()
 	sess := orm.NewSession(store, mode)
 	dbBefore := e.Srv.Stats().DBTime
 	start := e.Clock.Now()

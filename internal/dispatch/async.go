@@ -1,0 +1,118 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+)
+
+// Async is the pipelined-flush strategy: Submit stamps the batch with the
+// session's current virtual time and hands it to a single worker goroutine,
+// so the flush returns immediately and the session keeps computing while
+// the batch crosses the simulated network and executes. Wait blocks until
+// the worker finishes and advances the session clock only to the batch's
+// completion time — compute the session performed between Submit and Wait
+// is overlapped, not added (the async half of the paper's Sec. 5 server
+// driver, ROADMAP "async/pipelined flushes").
+//
+// The single FIFO worker preserves statement order across batches, so
+// write barriers hold exactly as in the synchronous strategy.
+type Async struct {
+	conn  *driver.Conn
+	clock netsim.Clock
+
+	stages []Stage
+	ch     chan *Ticket
+	wg     sync.WaitGroup
+	box    statsBox
+
+	closeOnce sync.Once
+}
+
+// NewAsync creates the asynchronous dispatcher and starts its worker.
+// Close must be called to stop the worker.
+func NewAsync(conn *driver.Conn, stages ...Stage) *Async {
+	a := &Async{
+		conn:   conn,
+		clock:  conn.Clock(),
+		stages: stages,
+		ch:     make(chan *Ticket, 16),
+	}
+	a.wg.Add(1)
+	go a.worker()
+	return a
+}
+
+func (a *Async) worker() {
+	defer a.wg.Done()
+	for t := range a.ch {
+		out, demux, ss := applyStages(a.stages, t.stmts)
+		results, done, err := a.conn.ExecBatchAt(t.arrival, out)
+		if err == nil && demux != nil {
+			results, err = demux(results)
+		}
+		t.results, t.err = results, err
+		t.completeAt = done
+		t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
+		if err == nil {
+			a.box.mu.Lock()
+			a.box.stats.StmtsOut += int64(len(out))
+			a.box.mu.Unlock()
+		}
+		close(t.done)
+	}
+}
+
+// Submit enqueues the batch and returns immediately.
+func (a *Async) Submit(stmts []driver.Stmt) *Ticket {
+	a.box.addSubmit(len(stmts))
+	t := &Ticket{stmts: stmts, arrival: a.clock.Now(), done: make(chan struct{})}
+	a.ch <- t
+	return t
+}
+
+// Wait blocks until the ticket's batch has executed, then pays only the
+// completion time the session has not already overlapped with compute.
+func (a *Async) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
+	<-t.done
+	if t.err != nil {
+		return nil, t.bs, t.err
+	}
+	cost := t.completeAt - t.arrival
+	waited := netsim.AdvanceTo(a.clock, t.completeAt)
+	if hidden := cost - waited; hidden > 0 {
+		a.box.mu.Lock()
+		a.box.stats.OverlapSaved += hidden
+		a.box.mu.Unlock()
+	}
+	return t.results, t.bs, t.err
+}
+
+// Deferred reports that Submit returns before execution completes.
+func (a *Async) Deferred() bool { return true }
+
+// Stats snapshots the dispatcher counters.
+func (a *Async) Stats() Stats { return a.box.snapshot() }
+
+// Close stops the worker after it drains in-flight batches. Tickets
+// submitted before Close remain waitable.
+func (a *Async) Close() {
+	a.closeOnce.Do(func() {
+		close(a.ch)
+		a.wg.Wait()
+	})
+}
+
+var _ Dispatcher = (*Async)(nil)
+var _ Dispatcher = (*Sync)(nil)
+
+// maxDuration is a small helper shared by the deferred strategies.
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,233 @@
+// Package dispatch is the pluggable execution pipeline between the query
+// store and the batch driver. The query store accumulates statements; a
+// Dispatcher decides WHEN and WHERE an accumulated batch executes:
+//
+//   - Sync reproduces the paper's behaviour exactly: Submit rewrites the
+//     batch through the pipeline stages, executes it in one blocking round
+//     trip, and Wait just hands the results back.
+//   - Async is the pipelined-flush strategy (ROADMAP "async/pipelined
+//     flushes"): Submit enqueues the batch to a worker goroutine and
+//     returns immediately, so app-server compute overlaps batch execution;
+//     Wait blocks on the ticket and pays only the completion time the
+//     session has not already spent computing.
+//   - Shared is the cross-session batching strategy (ROADMAP
+//     "cross-request batching", exercised by the Fig. 7-style throughput
+//     experiment): read-only batches from concurrent sessions accumulate
+//     in a server-side window, identical lookups collapse across sessions,
+//     the combined batch executes once, and results demultiplex back per
+//     session. Write-containing batches act as per-session barriers.
+//
+// Pipeline stages (today: the batch query-merge optimizer of
+// internal/merge) rewrite a batch before execution and demultiplex results
+// after, so every strategy benefits from the same optimizations.
+package dispatch
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/merge"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// Kind selects a dispatch strategy in configuration surfaces (query-store
+// config, benchmark flags).
+type Kind int
+
+const (
+	// KindSync executes batches synchronously at submit time (the paper's
+	// strategy; the zero value, so existing configurations are unchanged).
+	KindSync Kind = iota
+	// KindAsync executes batches on a per-session worker goroutine.
+	KindAsync
+	// KindShared accumulates read batches across sessions in a shared
+	// window.
+	KindShared
+)
+
+// String names the strategy (benchmark report labels).
+func (k Kind) String() string {
+	switch k {
+	case KindAsync:
+		return "async"
+	case KindShared:
+		return "shared"
+	default:
+		return "sync"
+	}
+}
+
+// ParseKind maps a flag value to a Kind.
+func ParseKind(s string) (Kind, bool) {
+	switch s {
+	case "sync", "":
+		return KindSync, true
+	case "async":
+		return KindAsync, true
+	case "shared":
+		return KindShared, true
+	}
+	return KindSync, false
+}
+
+// BatchStats describes what execution of one submitted batch cost, for the
+// query store's per-store accounting.
+type BatchStats struct {
+	// Sent is how many statements this batch contributed to the database
+	// after pipeline rewriting (and, for shared windows, after
+	// cross-session coalescing of the statements this batch introduced).
+	Sent int
+	// Saved is how many of this batch's statements the merge stage
+	// eliminated.
+	Saved int
+	// Groups is how many merged IN-list statements the merge stage emitted
+	// for this batch.
+	Groups int
+	// SharedHits is how many of this batch's statements were answered by
+	// an identical statement another session (or an earlier position in
+	// the same window) had already contributed.
+	SharedHits int
+}
+
+// Ticket is the handle for one submitted batch. Wait on it through the
+// dispatcher that issued it; a ticket is waitable exactly once by the
+// session that submitted it (the query store enforces this).
+type Ticket struct {
+	stmts   []driver.Stmt
+	arrival time.Duration // session virtual time at Submit
+
+	done chan struct{} // closed when results/err/completeAt are final
+
+	// Owned by the executing goroutine until done is closed.
+	results    []*sqldb.ResultSet
+	err        error
+	bs         BatchStats
+	completeAt time.Duration // absolute virtual completion time
+}
+
+// Dispatcher is the pluggable execution strategy.
+//
+// Submit hands over one batch in statement order and returns a ticket
+// without necessarily executing it. Wait blocks until the ticket's batch
+// has executed, charges any not-yet-overlapped completion time to the
+// session's clock, and returns the per-original-statement results (after
+// stage demultiplexing). Deferred reports whether Submit returns before
+// execution completes — the query store uses it to keep the synchronous
+// strategy's error surfaces byte-compatible. Close releases strategy
+// resources (the async worker); a dispatcher must not be used after Close.
+type Dispatcher interface {
+	Submit(stmts []driver.Stmt) *Ticket
+	Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error)
+	Deferred() bool
+	Stats() Stats
+	Close()
+}
+
+// Stats counts dispatcher activity.
+type Stats struct {
+	Submitted int64 // batches submitted
+	StmtsIn   int64 // statements submitted
+	StmtsOut  int64 // statements actually executed at the database
+	// OverlapSaved is virtual time that batch execution spent overlapped
+	// with app-server compute: the portion of completion time a session
+	// did not have to wait for (async and shared only).
+	OverlapSaved time.Duration
+	// Windows and Coalesced describe shared-window activity: windows
+	// closed, and statements answered by another in-window statement.
+	Windows   int64
+	Coalesced int64
+}
+
+// Demux maps executed results back onto a batch's original statements.
+type Demux func([]*sqldb.ResultSet) ([]*sqldb.ResultSet, error)
+
+// StageStats is one stage's effect on one batch.
+type StageStats struct {
+	Saved  int // statements eliminated
+	Groups int // merged statements emitted
+}
+
+// Stage is one pipeline rewrite pass: it may coalesce, reorder-preserving,
+// the statements of a batch, and must return a demux that reconstructs
+// exactly the results the original statements would have produced.
+type Stage interface {
+	Apply(stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats)
+}
+
+// mergeStage adapts the batch query-merge optimizer to the pipeline.
+type mergeStage struct {
+	m *merge.Merger
+}
+
+// MergeStage wraps a merge.Merger as a pipeline stage. The merger keeps
+// its own cumulative stats; per-batch deltas flow through StageStats.
+func MergeStage(m *merge.Merger) Stage { return mergeStage{m: m} }
+
+func (s mergeStage) Apply(stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats) {
+	plan := s.m.Rewrite(stmts)
+	return plan.Stmts, plan.Demux, StageStats{Saved: plan.Saved(), Groups: plan.Groups()}
+}
+
+// applyStages chains the pipeline over a batch, composing demuxes in
+// reverse so results flow back through each stage's reconstruction.
+func applyStages(stages []Stage, stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats) {
+	var demuxes []Demux
+	var total StageStats
+	out := stmts
+	for _, st := range stages {
+		var d Demux
+		var ss StageStats
+		out, d, ss = st.Apply(out)
+		if d != nil {
+			demuxes = append(demuxes, d)
+		}
+		total.Saved += ss.Saved
+		total.Groups += ss.Groups
+	}
+	if len(demuxes) == 0 {
+		return out, nil, total
+	}
+	demux := func(results []*sqldb.ResultSet) ([]*sqldb.ResultSet, error) {
+		var err error
+		for i := len(demuxes) - 1; i >= 0; i-- {
+			results, err = demuxes[i](results)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	return out, demux, total
+}
+
+// containsWrite reports whether any statement in the batch mutates state
+// or controls a transaction — the per-session barrier condition.
+func containsWrite(stmts []driver.Stmt) bool {
+	for _, st := range stmts {
+		if sqlparse.IsWriteSQL(st.SQL) {
+			return true
+		}
+	}
+	return false
+}
+
+// statsBox is the mutex-guarded counter block shared by the strategies.
+type statsBox struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (b *statsBox) snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+func (b *statsBox) addSubmit(n int) {
+	b.mu.Lock()
+	b.stats.Submitted++
+	b.stats.StmtsIn += int64(n)
+	b.mu.Unlock()
+}

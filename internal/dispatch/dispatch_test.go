@@ -1,0 +1,249 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/merge"
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/engine"
+)
+
+// rig builds a server with a seeded table and returns a connection factory
+// so tests can open several sessions (each on its own clock) against the
+// same database.
+func rig(t *testing.T) (*driver.Server, func(rtt time.Duration) (*driver.Conn, *netsim.VirtualClock)) {
+	t.Helper()
+	db := engine.New()
+	s := db.NewSession()
+	for _, sql := range []string{
+		"CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT)",
+		"INSERT INTO items (id, name, qty) VALUES (1, 'apple', 5), (2, 'pear', 7), (3, 'fig', 2)",
+	} {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := driver.NewServer(db, netsim.NewVirtualClock(), driver.DefaultCostModel())
+	connect := func(rtt time.Duration) (*driver.Conn, *netsim.VirtualClock) {
+		clock := netsim.NewVirtualClock()
+		return srv.Connect(netsim.NewLink(clock, rtt)), clock
+	}
+	return srv, connect
+}
+
+func sel(id int64) driver.Stmt {
+	return driver.Stmt{SQL: "SELECT id, name, qty FROM items WHERE id = ?", Args: []sqldb.Value{id}}
+}
+
+func mustWait(t *testing.T, d Dispatcher, tk *Ticket) []*sqldb.ResultSet {
+	t.Helper()
+	rs, _, err := d.Wait(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// TestSyncAsyncSameResults runs the same batch through both strategies and
+// requires identical rows per original statement.
+func TestSyncAsyncSameResults(t *testing.T) {
+	_, connect := rig(t)
+	stmts := []driver.Stmt{sel(1), sel(2), {SQL: "SELECT name FROM items WHERE qty > ?", Args: []sqldb.Value{int64(3)}}}
+
+	connS, _ := connect(time.Millisecond)
+	syncD := NewSync(connS)
+	want := mustWait(t, syncD, syncD.Submit(stmts))
+
+	connA, _ := connect(time.Millisecond)
+	asyncD := NewAsync(connA)
+	defer asyncD.Close()
+	got := mustWait(t, asyncD, asyncD.Submit(stmts))
+
+	if len(want) != len(got) {
+		t.Fatalf("result counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].String() != got[i].String() {
+			t.Fatalf("stmt %d differs:\n%s\nvs\n%s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestAsyncOverlapsCompute pins the virtual-time contract: compute charged
+// between Submit and Wait is overlapped with batch execution, so Wait pays
+// only the residual — and pays the full cost when there is no compute.
+func TestAsyncOverlapsCompute(t *testing.T) {
+	_, connect := rig(t)
+
+	// No compute between submit and wait: the wait pays the full cost,
+	// exactly like the synchronous strategy on an identical connection.
+	connA, clockA := connect(time.Millisecond)
+	a := NewAsync(connA)
+	defer a.Close()
+	mustWait(t, a, a.Submit([]driver.Stmt{sel(1)}))
+	full := clockA.Now()
+	if full <= time.Millisecond {
+		t.Fatalf("full wait %v, want > link rtt", full)
+	}
+
+	connB, clockB := connect(time.Millisecond)
+	b := NewAsync(connB)
+	defer b.Close()
+	tk := b.Submit([]driver.Stmt{sel(1)})
+	clockB.Advance(50 * time.Millisecond) // app compute while the batch flies
+	mustWait(t, b, tk)
+	if got := clockB.Now(); got != 50*time.Millisecond {
+		t.Fatalf("wait after overlapping compute advanced clock to %v, want 50ms", got)
+	}
+	if b.Stats().OverlapSaved <= 0 {
+		t.Fatal("no overlap recorded")
+	}
+}
+
+// TestSharedCoalescesAcrossSessions: identical lookups from two sessions
+// execute once at the server and both sessions read correct rows.
+func TestSharedCoalescesAcrossSessions(t *testing.T) {
+	srv, connect := rig(t)
+	hubConn, _ := connect(time.Millisecond)
+	hub := NewHub(hubConn, 0)
+
+	conn1, _ := connect(time.Millisecond)
+	conn2, _ := connect(time.Millisecond)
+	d1 := NewShared(hub, conn1)
+	d2 := NewShared(hub, conn2)
+
+	before := srv.Stats().Queries
+	t1 := d1.Submit([]driver.Stmt{sel(1), sel(2)})
+	t2 := d2.Submit([]driver.Stmt{sel(2), sel(1)})
+
+	rs1 := mustWait(t, d1, t1)
+	rs2 := mustWait(t, d2, t2)
+	if rs1[0].Rows[0][1] != "apple" || rs1[1].Rows[0][1] != "pear" {
+		t.Fatalf("session 1 rows: %v %v", rs1[0].Rows, rs1[1].Rows)
+	}
+	if rs2[0].Rows[0][1] != "pear" || rs2[1].Rows[0][1] != "apple" {
+		t.Fatalf("session 2 rows: %v %v", rs2[0].Rows, rs2[1].Rows)
+	}
+	if got := srv.Stats().Queries - before; got != 2 {
+		t.Fatalf("server executed %d statements, want 2 (coalesced window)", got)
+	}
+	if hub.Stats().Coalesced != 2 {
+		t.Fatalf("coalesced = %d, want 2", hub.Stats().Coalesced)
+	}
+	_, bs2, _ := d2.Wait(t2) // waitable again: already-done ticket
+	if bs2.SharedHits != 2 {
+		t.Fatalf("session 2 shared hits = %d, want 2", bs2.SharedHits)
+	}
+}
+
+// TestSharedWriteBarrier: a session's window reads registered before its
+// write must observe pre-write state, and a read after the write must
+// observe the new value.
+func TestSharedWriteBarrier(t *testing.T) {
+	_, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0)
+	conn, _ := connect(0)
+	d := NewShared(hub, conn)
+
+	readT := d.Submit([]driver.Stmt{{SQL: "SELECT qty FROM items WHERE id = 1"}})
+	writeT := d.Submit([]driver.Stmt{{SQL: "UPDATE items SET qty = 99 WHERE id = 1"}})
+	afterT := d.Submit([]driver.Stmt{{SQL: "SELECT qty FROM items WHERE id = 1"}})
+
+	if rs := mustWait(t, d, readT); rs[0].Rows[0][0] != int64(5) {
+		t.Fatalf("pre-write read saw %v, want 5", rs[0].Rows[0][0])
+	}
+	if rs := mustWait(t, d, writeT); rs[0].RowsAffected != 1 {
+		t.Fatalf("write affected %d rows", rs[0].RowsAffected)
+	}
+	if rs := mustWait(t, d, afterT); rs[0].Rows[0][0] != int64(99) {
+		t.Fatalf("post-write read saw %v, want 99", rs[0].Rows[0][0])
+	}
+}
+
+// TestSharedQuorumClosesWindow: with an expected batch count, the quorum
+// submitter closes the window without any demand.
+func TestSharedQuorumClosesWindow(t *testing.T) {
+	srv, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0)
+	hub.SetWindow(2, 0)
+	conn1, _ := connect(0)
+	conn2, _ := connect(0)
+	d1 := NewShared(hub, conn1)
+	d2 := NewShared(hub, conn2)
+
+	before := srv.Stats().Queries
+	t1 := d1.Submit([]driver.Stmt{sel(3)})
+	select {
+	case <-t1.done:
+		t.Fatal("window closed before quorum")
+	default:
+	}
+	t2 := d2.Submit([]driver.Stmt{sel(3)}) // quorum: closes inline
+	select {
+	case <-t2.done:
+	default:
+		t.Fatal("quorum did not close the window")
+	}
+	mustWait(t, d1, t1)
+	mustWait(t, d2, t2)
+	if got := srv.Stats().Queries - before; got != 1 {
+		t.Fatalf("server executed %d statements, want 1", got)
+	}
+}
+
+// TestMergeStageThroughDispatchers: the merge stage coalesces a 1+N family
+// under every strategy, with per-batch stats reported on the ticket.
+func TestMergeStageThroughDispatchers(t *testing.T) {
+	family := []driver.Stmt{sel(1), sel(2), sel(3)}
+	for _, mk := range []struct {
+		name  string
+		build func(connect func(time.Duration) (*driver.Conn, *netsim.VirtualClock)) (Dispatcher, *driver.Server)
+	}{
+		{"sync", func(connect func(time.Duration) (*driver.Conn, *netsim.VirtualClock)) (Dispatcher, *driver.Server) {
+			conn, _ := connect(0)
+			return NewSync(conn, MergeStage(merge.New(merge.Config{Enabled: true}))), nil
+		}},
+		{"async", func(connect func(time.Duration) (*driver.Conn, *netsim.VirtualClock)) (Dispatcher, *driver.Server) {
+			conn, _ := connect(0)
+			return NewAsync(conn, MergeStage(merge.New(merge.Config{Enabled: true}))), nil
+		}},
+	} {
+		_, connect := rig(t)
+		d, _ := mk.build(connect)
+		tk := d.Submit(family)
+		rs, bs, err := d.Wait(tk)
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if len(rs) != 3 {
+			t.Fatalf("%s: %d results", mk.name, len(rs))
+		}
+		for i, want := range []string{"apple", "pear", "fig"} {
+			if rs[i].Rows[0][1] != want {
+				t.Fatalf("%s: stmt %d row %v, want %s", mk.name, i, rs[i].Rows, want)
+			}
+		}
+		if bs.Sent != 1 || bs.Saved != 2 || bs.Groups != 1 {
+			t.Fatalf("%s: batch stats %+v, want Sent 1 Saved 2 Groups 1", mk.name, bs)
+		}
+		d.Close()
+	}
+}
+
+// TestAsyncErrorDeferredToWait: a failing batch reports its error at Wait,
+// not at Submit.
+func TestAsyncErrorDeferredToWait(t *testing.T) {
+	_, connect := rig(t)
+	conn, _ := connect(0)
+	a := NewAsync(conn)
+	defer a.Close()
+	tk := a.Submit([]driver.Stmt{{SQL: "SELECT * FROM no_such_table"}})
+	if _, _, err := a.Wait(tk); err == nil {
+		t.Fatal("missing execution error at Wait")
+	}
+}

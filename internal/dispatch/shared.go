@@ -1,0 +1,291 @@
+package dispatch
+
+import (
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+)
+
+// DefaultWindowCap bounds how many statements a shared window accumulates
+// before it closes on its own (a demand — any session waiting on one of
+// its tickets — closes it earlier).
+const DefaultWindowCap = 256
+
+// Hub is the server-side accumulation window shared by the Shared
+// dispatchers of concurrent sessions (ROADMAP "cross-request batching").
+// Read-only batches submitted by any session collect in the current
+// window; when the window closes — on demand, or at the statement cap —
+// statements that are identical across sessions collapse to one execution,
+// the pipeline stages (batch merging) rewrite the combined batch, and it
+// executes in a single round trip on the hub's own connection. Results are
+// then demultiplexed back to every contributing session.
+//
+// A Hub is safe for concurrent use; the window mutex serializes closes.
+type Hub struct {
+	conn   *driver.Conn
+	stages []Stage
+	cap    int
+
+	// Window policy (SetWindow): close as soon as `expected` distinct
+	// sessions have contributed, and let a demanding session hold the
+	// window open for up to `grace` of real time waiting for them. grace
+	// is a mechanism knob for letting truly concurrent submitters meet in
+	// one window — it never enters the virtual-time arithmetic.
+	expected int
+	grace    time.Duration
+
+	box statsBox
+
+	// Window state, guarded by box.mu (closes hold it across execution so
+	// a closing session acts for everyone racing it). owners tracks the
+	// distinct sessions represented in the window: the quorum is sessions,
+	// not batches, so one session submitting twice (e.g. reads split by a
+	// write barrier) cannot close the window early for everyone else.
+	window      []*windowEntry
+	windowStmts int
+	owners      map[*Shared]struct{}
+}
+
+// windowEntry is one session's batch waiting in the window, with the
+// routing of its statements into the combined batch.
+type windowEntry struct {
+	t      *Ticket
+	routes []int // per original statement: index into the combined batch
+	intro  int   // statements this entry introduced (first occurrence)
+}
+
+// NewHub creates a shared accumulation window over a dedicated connection.
+// cap <= 0 selects DefaultWindowCap. The stages run once per window over
+// the combined cross-session batch.
+func NewHub(conn *driver.Conn, cap int, stages ...Stage) *Hub {
+	if cap <= 0 {
+		cap = DefaultWindowCap
+	}
+	return &Hub{conn: conn, stages: stages, cap: cap}
+}
+
+// Stats snapshots hub-level counters (windows closed, statements coalesced
+// across sessions, statements actually executed).
+func (h *Hub) Stats() Stats { return h.box.snapshot() }
+
+// SetWindow configures the accumulation policy: the window closes once
+// `expected` distinct sessions have contributed a batch (typically the
+// number of concurrent sessions), and a session demanding results holds it
+// open for at most `grace` of real time first. The defaults (0, 0) close
+// on first demand — correct for a single session, where there is nobody
+// to wait for.
+func (h *Hub) SetWindow(expected int, grace time.Duration) {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.expected = expected
+	h.grace = grace
+}
+
+// add appends a read-only batch to the current window, closing the window
+// if the session quorum or statement cap is reached.
+func (h *Hub) add(t *Ticket, owner *Shared) {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.window = append(h.window, &windowEntry{t: t})
+	h.windowStmts += len(t.stmts)
+	if h.owners == nil {
+		h.owners = make(map[*Shared]struct{})
+	}
+	h.owners[owner] = struct{}{}
+	if h.windowStmts >= h.cap || (h.expected > 0 && len(h.owners) >= h.expected) {
+		h.closeLocked()
+	}
+}
+
+// waitForTicket blocks until t completes. With a grace period configured,
+// the demanding session first waits up to that long so concurrent sessions
+// can land their batches in the same window (the quorum trigger in add
+// then closes it); only after the grace expires does it force the close
+// itself.
+func (h *Hub) waitForTicket(t *Ticket) {
+	h.box.mu.Lock()
+	grace := h.grace
+	h.box.mu.Unlock()
+	if grace > 0 {
+		select {
+		case <-t.done:
+			return
+		case <-time.After(grace):
+		}
+	}
+	select {
+	case <-t.done:
+	default:
+		h.CloseWindow()
+		<-t.done
+	}
+}
+
+// CloseWindow executes the current window, if any, filling every
+// contributing ticket. Sessions call it through Wait (demand-driven close)
+// and before write barriers; it is also exported for tests and draining.
+func (h *Hub) CloseWindow() {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.closeLocked()
+}
+
+func (h *Hub) closeLocked() {
+	entries := h.window
+	h.window = nil
+	h.windowStmts = 0
+	h.owners = nil
+	if len(entries) == 0 {
+		return
+	}
+
+	// Coalesce: identical statements across (and within) the window's
+	// batches execute once. Entries are walked in submission order, so the
+	// combined batch respects every session's own statement order.
+	var combined []driver.Stmt
+	byKey := make(map[string]int)
+	arrival := entries[0].t.arrival
+	totalIn := 0
+	for _, e := range entries {
+		if e.t.arrival > arrival {
+			arrival = e.t.arrival
+		}
+		e.routes = make([]int, len(e.t.stmts))
+		for i, st := range e.t.stmts {
+			totalIn++
+			k := st.Key()
+			idx, dup := byKey[k]
+			if !dup {
+				idx = len(combined)
+				byKey[k] = idx
+				combined = append(combined, st)
+				e.intro++
+			}
+			e.routes[i] = idx
+		}
+	}
+
+	out, demux, ss := applyStages(h.stages, combined)
+	results, done, err := h.conn.ExecBatchAt(arrival, out)
+	if err == nil && demux != nil {
+		results, err = demux(results)
+	}
+
+	h.box.stats.Windows++
+	h.box.stats.Coalesced += int64(totalIn - len(combined))
+	if err == nil {
+		h.box.stats.StmtsOut += int64(len(out))
+	}
+	_ = ss // window-level merge savings are visible via StmtsOut vs StmtsIn
+
+	for _, e := range entries {
+		t := e.t
+		t.completeAt = done
+		t.bs = BatchStats{Sent: e.intro, SharedHits: len(t.stmts) - e.intro}
+		if err != nil {
+			t.err = err
+		} else {
+			rs := make([]*sqldb.ResultSet, len(e.routes))
+			for i, idx := range e.routes {
+				rs[i] = results[idx]
+			}
+			t.results = rs
+		}
+		close(t.done)
+	}
+}
+
+// Shared is the per-session front end of a Hub: read-only batches go to
+// the shared window, write-containing batches act as per-session barriers
+// — the window is forced closed first (so this session's earlier reads
+// keep their order relative to the write), then the batch executes on the
+// session's own connection, preserving its transaction state.
+type Shared struct {
+	hub    *Hub
+	conn   *driver.Conn
+	clock  netsim.Clock
+	stages []Stage
+	box    statsBox
+}
+
+// NewShared creates a session front end over hub. The stages apply to this
+// session's write-containing batches (which bypass the window); window
+// batches use the hub's stages.
+func NewShared(hub *Hub, conn *driver.Conn, stages ...Stage) *Shared {
+	return &Shared{hub: hub, conn: conn, clock: conn.Clock(), stages: stages}
+}
+
+// Hub returns the shared accumulation window this front end feeds.
+func (s *Shared) Hub() *Hub { return s.hub }
+
+// Submit routes the batch: reads accumulate in the shared window, writes
+// barrier the window and execute on the session connection. Both return
+// immediately in session virtual time (completion is paid at Wait).
+func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
+	s.box.addSubmit(len(stmts))
+	t := &Ticket{stmts: stmts, arrival: s.clock.Now(), done: make(chan struct{})}
+	if !containsWrite(stmts) {
+		s.hub.add(t, s)
+		return t
+	}
+
+	// Per-session barrier: everything this session put in the window was
+	// registered before the write, so it must execute first.
+	s.hub.CloseWindow()
+	out, demux, ss := applyStages(s.stages, stmts)
+	results, done, err := s.conn.ExecBatchAt(t.arrival, out)
+	if err == nil && demux != nil {
+		results, err = demux(results)
+	}
+	t.results, t.err = results, err
+	t.completeAt = done
+	t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
+	if err == nil {
+		s.box.mu.Lock()
+		s.box.stats.StmtsOut += int64(len(out))
+		s.box.mu.Unlock()
+	}
+	close(t.done)
+	return t
+}
+
+// Wait closes the ticket's window if it is still accumulating, blocks for
+// the results, and pays the completion time the session has not already
+// overlapped with compute.
+func (s *Shared) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
+	select {
+	case <-t.done:
+	default:
+		// The ticket's window has not closed yet: give concurrent sessions
+		// the configured grace to join it, then force the close. Closing a
+		// window the ticket is no longer part of is harmless — those
+		// batches were pending anyway.
+		s.hub.waitForTicket(t)
+	}
+	if t.err != nil {
+		return nil, t.bs, t.err
+	}
+	cost := maxDuration(0, t.completeAt-t.arrival)
+	waited := netsim.AdvanceTo(s.clock, t.completeAt)
+	if hidden := cost - waited; hidden > 0 {
+		s.box.mu.Lock()
+		s.box.stats.OverlapSaved += hidden
+		s.box.mu.Unlock()
+	}
+	return t.results, t.bs, t.err
+}
+
+// Deferred reports that Submit returns before execution completes.
+func (s *Shared) Deferred() bool { return true }
+
+// Stats snapshots this session front end's counters; hub-wide window
+// counters live on Hub.Stats.
+func (s *Shared) Stats() Stats { return s.box.snapshot() }
+
+// Close is a no-op: the hub outlives its front ends, and any batches this
+// session left in the window execute when the window next closes.
+func (s *Shared) Close() {}
+
+var _ Dispatcher = (*Shared)(nil)

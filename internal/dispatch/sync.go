@@ -1,0 +1,54 @@
+package dispatch
+
+import (
+	"repro/internal/driver"
+	"repro/internal/sqldb"
+)
+
+// Sync is the paper's dispatch strategy: Submit rewrites the batch through
+// the pipeline stages and executes it immediately in one blocking round
+// trip on the session's connection. Wait is then a cache hit. Like the
+// query store it serves, a Sync dispatcher belongs to one session thread.
+type Sync struct {
+	conn   *driver.Conn
+	stages []Stage
+	box    statsBox
+}
+
+// NewSync creates the synchronous dispatcher.
+func NewSync(conn *driver.Conn, stages ...Stage) *Sync {
+	return &Sync{conn: conn, stages: stages}
+}
+
+// Submit executes the batch now; the returned ticket is already complete.
+func (s *Sync) Submit(stmts []driver.Stmt) *Ticket {
+	s.box.addSubmit(len(stmts))
+	t := &Ticket{stmts: stmts}
+	out, demux, ss := applyStages(s.stages, stmts)
+	results, err := s.conn.ExecBatch(out)
+	if err == nil && demux != nil {
+		results, err = demux(results)
+	}
+	t.results, t.err = results, err
+	t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
+	if err == nil {
+		s.box.mu.Lock()
+		s.box.stats.StmtsOut += int64(len(out))
+		s.box.mu.Unlock()
+	}
+	return t
+}
+
+// Wait returns the already-computed results.
+func (s *Sync) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
+	return t.results, t.bs, t.err
+}
+
+// Deferred reports that Submit blocks until execution completes.
+func (s *Sync) Deferred() bool { return false }
+
+// Stats snapshots the dispatcher counters.
+func (s *Sync) Stats() Stats { return s.box.snapshot() }
+
+// Close is a no-op: Sync holds no resources.
+func (s *Sync) Close() {}

@@ -10,7 +10,10 @@ package driver
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -23,6 +26,43 @@ import (
 type Stmt struct {
 	SQL  string
 	Args []sqldb.Value
+}
+
+// Key canonicalizes the statement (SQL plus normalized argument values)
+// for duplicate detection. It is THE canonical form: the query store's
+// in-batch dedup and the shared window's cross-session coalescing both key
+// on it, so they always agree on what "the same statement" means. It sits
+// on the per-registration hot path (the paper's Sec. 6.6 overhead), so it
+// avoids the general value formatter; see BenchmarkDedupKey.
+func (st Stmt) Key() string {
+	if len(st.Args) == 0 {
+		return st.SQL
+	}
+	var sb strings.Builder
+	sb.Grow(len(st.SQL) + 12*len(st.Args))
+	sb.WriteString(st.SQL)
+	for _, a := range st.Args {
+		sb.WriteByte('\x1f')
+		switch v := sqldb.Normalize(a).(type) {
+		case nil:
+			sb.WriteString("~")
+		case int64:
+			sb.WriteString(strconv.FormatInt(v, 10))
+		case string:
+			sb.WriteString(v)
+		case float64:
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			if v {
+				sb.WriteByte('T')
+			} else {
+				sb.WriteByte('F')
+			}
+		default:
+			sb.WriteString(sqldb.Format(v))
+		}
+	}
+	return sb.String()
 }
 
 // CostModel prices server-side query execution on the virtual clock. The
@@ -66,9 +106,22 @@ type ServerStats struct {
 	Rows int64
 	// DBTime is total virtual time charged for query execution.
 	DBTime time.Duration
+	// QueueWait is total virtual time batches spent queued behind other
+	// batches for server capacity (only nonzero under concurrent sessions).
+	QueueWait time.Duration
 }
 
-// Server fronts an engine.DB, charging execution time to the clock.
+// Server fronts an engine.DB. It is safe for concurrent use by many
+// connections: statement execution serializes on the storage lock, stats
+// and the occupancy timeline are mutex-guarded, and each connection owns
+// its engine session.
+//
+// The server no longer advances its clock directly: execution is PRICED
+// here (occupancy + cost model) but the time is PAID by the connection
+// that waits for the batch (ExecBatch / the dispatch layer), which is
+// what lets deferred dispatch overlap execution with app compute. The
+// clock parameter is retained as the server's home timeline for future
+// server-side background work.
 type Server struct {
 	db    *engine.DB
 	clock netsim.Clock
@@ -76,6 +129,12 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats ServerStats
+	// busyUntil is the virtual time at which the server finishes the work
+	// already accepted — the single-queue occupancy model for concurrent
+	// sessions. A batch arriving at virtual time t starts at
+	// max(t, busyUntil); with one session the queue is always empty and the
+	// model collapses to the original serial accounting.
+	busyUntil time.Duration
 }
 
 // NewServer creates a server over db using the given clock and cost model.
@@ -146,33 +205,53 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 	s.stats.Rows += rowsVisited
 	s.stats.DBTime += total
 	s.mu.Unlock()
-	s.clock.Advance(total)
 	return results, total, nil
 }
 
-// Conn is a client connection: an engine session reached across a link.
-// Conns are not safe for concurrent use, matching JDBC connections.
-type Conn struct {
-	srv  *Server
-	link *netsim.Link
-	sess *engine.Session
+// occupy reserves server capacity for a batch arriving at the given virtual
+// time: the batch starts when the server frees up and extends the busy
+// horizon by its cost. Returns the start time.
+func (s *Server) occupy(arrival, cost time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := arrival
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + cost
+	s.stats.QueueWait += start - arrival
+	return start
+}
 
-	queriesSent int64
+// Conn is a client connection: an engine session reached across a link.
+// A Conn must have at most one goroutine executing batches at a time (the
+// dispatch layer serializes: either the session thread or a single worker),
+// matching JDBC connections; its counters are safe to read concurrently.
+type Conn struct {
+	srv   *Server
+	link  *netsim.Link
+	sess  *engine.Session
+	clock netsim.Clock
+
+	queriesSent atomic.Int64
 }
 
 // Connect opens a connection to the server across link.
 func (s *Server) Connect(link *netsim.Link) *Conn {
-	return &Conn{srv: s, link: link, sess: s.db.NewSession()}
+	return &Conn{srv: s, link: link, sess: s.db.NewSession(), clock: link.Clock()}
 }
 
 // Link exposes the connection's network link (for stats and RTT sweeps).
 func (c *Conn) Link() *netsim.Link { return c.link }
 
+// Clock exposes the connection's virtual timeline (the link's clock).
+func (c *Conn) Clock() netsim.Clock { return c.clock }
+
 // QueriesSent reports how many statements this connection has shipped.
-func (c *Conn) QueriesSent() int64 { return c.queriesSent }
+func (c *Conn) QueriesSent() int64 { return c.queriesSent.Load() }
 
 // ResetStats zeroes the connection counter.
-func (c *Conn) ResetStats() { c.queriesSent = 0 }
+func (c *Conn) ResetStats() { c.queriesSent.Store(0) }
 
 // InTxn reports whether the connection has an open transaction.
 func (c *Conn) InTxn() bool { return c.sess.InTxn() }
@@ -187,11 +266,18 @@ func (c *Conn) Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) 
 	return results[0], nil
 }
 
-// ExecBatch ships all statements to the server in one round trip and
-// returns their result sets in order — the Sloth batch driver.
-func (c *Conn) ExecBatch(stmts []Stmt) ([]*sqldb.ResultSet, error) {
+// ExecBatchAt is the asynchronous batch entry point: it executes all
+// statements now (server counters are charged, data effects land) but does
+// NOT advance any clock. The batch is modeled as arriving at virtual time
+// `arrival`; the returned completion time is when its single round trip
+// finishes on the shared timeline — queueing behind earlier batches for
+// server capacity, then paying server cost and link latency. Deferred
+// dispatch strategies pay (completion - now) only when a session actually
+// waits, which is how app-server compute overlaps DB time on the virtual
+// clock.
+func (c *Conn) ExecBatchAt(arrival time.Duration, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
 	if len(stmts) == 0 {
-		return nil, nil
+		return nil, arrival, nil
 	}
 	reqBytes := 0
 	for _, st := range stmts {
@@ -200,15 +286,28 @@ func (c *Conn) ExecBatch(stmts []Stmt) ([]*sqldb.ResultSet, error) {
 			reqBytes += sqldb.SizeOf(a)
 		}
 	}
-	results, _, err := c.srv.execBatch(c.sess, stmts)
+	results, dbCost, err := c.srv.execBatch(c.sess, stmts)
 	if err != nil {
-		return nil, err
+		return nil, arrival, err
 	}
 	respBytes := 0
 	for _, rs := range results {
 		respBytes += rs.WireSize()
 	}
-	c.link.RoundTrip(reqBytes, respBytes)
-	c.queriesSent += int64(len(stmts))
+	netCost := c.link.Charge(reqBytes, respBytes)
+	start := c.srv.occupy(arrival, dbCost)
+	c.queriesSent.Add(int64(len(stmts)))
+	return results, start + dbCost + netCost, nil
+}
+
+// ExecBatch ships all statements to the server in one round trip, blocks
+// until completion on the connection's timeline, and returns their result
+// sets in order — the Sloth batch driver.
+func (c *Conn) ExecBatch(stmts []Stmt) ([]*sqldb.ResultSet, error) {
+	results, done, err := c.ExecBatchAt(c.clock.Now(), stmts)
+	if err != nil {
+		return nil, err
+	}
+	netsim.AdvanceTo(c.clock, done)
 	return results, nil
 }

@@ -36,6 +36,7 @@ package merge
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/driver"
 	"repro/internal/sqldb"
@@ -74,10 +75,14 @@ type Stats struct {
 	RowsDemuxed int64 // rows routed back to original statements
 }
 
-// Merger is the batch optimizer. Like the query store it serves, it is
-// per-session state and not safe for concurrent use.
+// Merger is the batch optimizer. Rewrites themselves serialize per
+// dispatcher (one session thread or one worker goroutine at a time), but
+// since the dispatch layer may run them on a worker goroutine while the
+// session thread reads Stats, the counters are mutex-guarded.
 type Merger struct {
-	cfg   Config
+	cfg Config
+
+	mu    sync.Mutex
 	stats Stats
 }
 
@@ -88,10 +93,18 @@ func New(cfg Config) *Merger { return &Merger{cfg: cfg} }
 func (m *Merger) Enabled() bool { return m.cfg.Enabled }
 
 // Stats snapshots the optimizer counters.
-func (m *Merger) Stats() Stats { return m.stats }
+func (m *Merger) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats zeroes the counters.
-func (m *Merger) ResetStats() { m.stats = Stats{} }
+func (m *Merger) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
 
 // candidate is one statement eligible for merging.
 type candidate struct {
@@ -282,6 +295,18 @@ type Plan struct {
 // Saved reports how many statements the rewrite eliminated.
 func (p *Plan) Saved() int { return len(p.routes) - len(p.Stmts) }
 
+// Groups reports how many merged IN-list statements this plan emitted —
+// the per-batch delta behind the Merger's cumulative Groups counter.
+func (p *Plan) Groups() int {
+	seen := make(map[int]struct{})
+	for _, r := range p.routes {
+		if r.merged {
+			seen[r.stmtIdx] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
 // group accumulates the members of one fingerprint while the batch is
 // scanned.
 type group struct {
@@ -294,6 +319,8 @@ type group struct {
 // the results back. Rewrite never fails: statements it cannot improve (or
 // cannot parse) pass through verbatim.
 func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p := &Plan{m: m, routes: make([]route, len(stmts))}
 	m.stats.Batches++
 
@@ -432,7 +459,9 @@ func (p *Plan) Demux(results []*sqldb.ResultSet) ([]*sqldb.ResultSet, error) {
 		}
 		sub.RowsScanned = len(sub.Rows)
 		if p.m != nil {
+			p.m.mu.Lock()
 			p.m.stats.RowsDemuxed += int64(len(sub.Rows))
+			p.m.mu.Unlock()
 		}
 		out[i] = sub
 	}

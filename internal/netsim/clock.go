@@ -75,3 +75,19 @@ func (c *RealClock) Advance(d time.Duration) {
 		time.Sleep(d)
 	}
 }
+
+// AdvanceTo advances c to the absolute virtual time target, returning the
+// amount waited (zero when target is already in the past). It is the
+// "block until completion" primitive of deferred dispatch: a session that
+// kept computing past a batch's completion time waits nothing.
+//
+// The read-then-advance pair is not atomic, so a clock must have a single
+// advancing goroutine (per-session clocks do).
+func AdvanceTo(c Clock, target time.Duration) time.Duration {
+	now := c.Now()
+	if target <= now {
+		return 0
+	}
+	c.Advance(target - now)
+	return target - now
+}

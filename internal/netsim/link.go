@@ -64,16 +64,35 @@ func (l *Link) SetRTT(rtt time.Duration) {
 	l.rtt = rtt
 }
 
-// RoundTrip charges one full round trip carrying reqBytes of request payload
-// and respBytes of response payload, advancing the clock accordingly. It
-// returns the time charged.
-func (l *Link) RoundTrip(reqBytes, respBytes int) time.Duration {
+// Clock returns the clock this link advances on round trips. The dispatch
+// layer uses it to pay deferred network time on the session's timeline.
+func (l *Link) Clock() Clock {
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.clock
+}
+
+// Charge records one round trip's counters and returns its cost WITHOUT
+// advancing the clock. Deferred dispatch strategies (async and shared
+// batching) use it so the time of an in-flight round trip is paid on the
+// session's timeline only when — and if — the session actually waits.
+func (l *Link) Charge(reqBytes, respBytes int) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	cost := l.rtt + time.Duration(reqBytes+respBytes)*l.perByte
 	l.roundTrips++
 	l.bytesSent += int64(reqBytes)
 	l.bytesRecv += int64(respBytes)
 	l.netTime += cost
+	return cost
+}
+
+// RoundTrip charges one full round trip carrying reqBytes of request payload
+// and respBytes of response payload, advancing the clock accordingly. It
+// returns the time charged.
+func (l *Link) RoundTrip(reqBytes, respBytes int) time.Duration {
+	cost := l.Charge(reqBytes, respBytes)
+	l.mu.Lock()
 	clock := l.clock
 	l.mu.Unlock()
 	clock.Advance(cost)

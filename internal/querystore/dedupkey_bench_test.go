@@ -1,0 +1,74 @@
+package querystore
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/engine"
+)
+
+// dedupKey sits on the per-registration hot path: every RegisterQuery of a
+// read pays one key construction (two on a miss). It is the reproduction's
+// slice of the paper's runtime overhead (Sec. 6.6), so changes to the key
+// format must be measured here before they ship.
+
+var benchStmts = []driver.Stmt{
+	{SQL: "SELECT id, name, qty FROM items WHERE id = ?", Args: []sqldb.Value{int64(42)}},
+	{SQL: "SELECT * FROM observations WHERE encounter_id = ? AND voided = ?", Args: []sqldb.Value{int64(91235), false}},
+	{SQL: "SELECT id FROM users WHERE login = ? AND region = ? AND score > ?", Args: []sqldb.Value{"admin", "eu-west", 3.25}},
+	{SQL: "SELECT COUNT(*) AS n FROM issues WHERE project_id = 7"},
+}
+
+var keySink string
+
+func BenchmarkDedupKey(b *testing.B) {
+	for _, st := range benchStmts {
+		st := st
+		b.Run(benchName(st), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				keySink = dedupKey(st)
+			}
+		})
+	}
+}
+
+func benchName(st driver.Stmt) string {
+	if len(st.Args) == 0 {
+		return "noargs"
+	}
+	switch st.Args[0].(type) {
+	case int64:
+		if len(st.Args) == 1 {
+			return "int1"
+		}
+		return "int-bool"
+	default:
+		return "str-str-float"
+	}
+}
+
+// BenchmarkRegisterDedupHit measures the full registration fast path: a
+// read whose identical statement is already pending (key build + map hit).
+func BenchmarkRegisterDedupHit(b *testing.B) {
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	srv := driver.NewServer(db, clock, driver.CostModel{})
+	conn := srv.Connect(netsim.NewLink(clock, 0))
+	if _, err := conn.Query("CREATE TABLE items (id INT PRIMARY KEY, qty INT)"); err != nil {
+		b.Fatal(err)
+	}
+	s := New(conn, Config{})
+	if _, err := s.Register("SELECT qty FROM items WHERE id = ?", int64(7)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Register("SELECT qty FROM items WHERE id = ?", int64(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,13 +15,20 @@
 //     boundaries.
 //   - GetResultSet(id) returns the cached result if the id's batch already
 //     ran, and otherwise flushes the pending batch in one round trip.
+//
+// WHEN a flushed batch executes is delegated to a dispatch.Dispatcher
+// (internal/dispatch): synchronously at the flush point (the paper's
+// strategy), asynchronously on a worker goroutine so app compute overlaps
+// execution, or through a cross-session shared accumulation window. The
+// store's own contract is unchanged under every strategy: results per
+// query id are identical, and a batch that failed reports its execution
+// error at force time for every id it carried (deferred-error delivery).
 package querystore
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
+	"repro/internal/dispatch"
 	"repro/internal/driver"
 	"repro/internal/merge"
 	"repro/internal/sqldb"
@@ -45,10 +52,19 @@ type Config struct {
 	// when enabled, a flushed batch is rewritten so point-lookup SELECTs
 	// that differ only in one equality value execute as a single IN-list
 	// statement, and results are demultiplexed back per original query.
+	// The optimizer runs as a pipeline stage of the dispatcher.
 	Merge merge.Config
+	// Dispatch selects the execution strategy for flushed batches. The
+	// zero value (dispatch.KindSync) is the paper's blocking flush.
+	Dispatch dispatch.Kind
+	// Hub is the shared cross-session accumulation window, required when
+	// Dispatch is dispatch.KindShared and ignored otherwise.
+	Hub *dispatch.Hub
 }
 
-// Stats counts store activity for the experiment harness.
+// Stats counts store activity for the experiment harness. All counters are
+// per-store deltas: ResetStats zeroes every one of them, including the
+// merge counters.
 type Stats struct {
 	Registered    int64 // Register calls (after dedup)
 	DedupHits     int64 // Register calls answered with an existing id
@@ -58,6 +74,7 @@ type Stats struct {
 	ForcedByWrite int64 // flushes triggered by a write registration
 	MergeGroups   int64 // IN-list statements emitted by the merge optimizer
 	MergeSaved    int64 // statements eliminated by the merge optimizer
+	SharedHits    int64 // statements answered by another session's window entry
 }
 
 // pending is one statement waiting in the current batch.
@@ -66,50 +83,97 @@ type pending struct {
 	stmt driver.Stmt
 }
 
-// Store is a per-request (per-session) query store. It is not safe for
-// concurrent use: Sloth's execution model is one request thread evaluating
-// its own lazy computation, matching the paper's per-client batching.
-type Store struct {
-	conn   *driver.Conn
-	cfg    Config
-	merger *merge.Merger // nil unless cfg.Merge.Enabled
-	queue  []pending
-	bySQL  map[string]QueryID // dedup key -> pending id
-	cache  map[QueryID]*sqldb.ResultSet
-	nextID QueryID
-	stats  Stats
+// inflight is one submitted batch whose results have not been collected.
+type inflight struct {
+	t   *dispatch.Ticket
+	ids []QueryID
 }
 
-// New creates a query store over an established connection.
+// Store is a per-request (per-session) query store. It is not safe for
+// concurrent use: Sloth's execution model is one request thread evaluating
+// its own lazy computation, matching the paper's per-client batching. (The
+// dispatcher behind it may execute batches on other goroutines.)
+type Store struct {
+	conn     *driver.Conn
+	cfg      Config
+	disp     dispatch.Dispatcher
+	merger   *merge.Merger // nil unless cfg.Merge.Enabled
+	queue    []pending
+	bySQL    map[string]QueryID // dedup key -> pending id
+	cache    map[QueryID]*sqldb.ResultSet
+	errs     map[QueryID]error // deferred execution errors by id
+	inflight []inflight
+	nextID   QueryID
+	stats    Stats
+}
+
+// New creates a query store over an established connection, building the
+// configured dispatch pipeline.
 func New(conn *driver.Conn, cfg Config) *Store {
 	s := &Store{
 		conn:  conn,
 		cfg:   cfg,
 		bySQL: make(map[string]QueryID),
 		cache: make(map[QueryID]*sqldb.ResultSet),
+		errs:  make(map[QueryID]error),
 	}
+	var stages []dispatch.Stage
 	if cfg.Merge.Enabled {
 		s.merger = merge.New(cfg.Merge)
+		stages = append(stages, dispatch.MergeStage(s.merger))
+	}
+	switch cfg.Dispatch {
+	case dispatch.KindAsync:
+		s.disp = dispatch.NewAsync(conn, stages...)
+	case dispatch.KindShared:
+		if cfg.Hub == nil {
+			panic("querystore: KindShared requires Config.Hub")
+		}
+		s.disp = dispatch.NewShared(cfg.Hub, conn, stages...)
+	default:
+		s.disp = dispatch.NewSync(conn, stages...)
 	}
 	return s
 }
 
+// NewWithDispatcher creates a store over a caller-built dispatcher
+// (custom pipelines and tests). cfg.Dispatch, cfg.Hub, and cfg.Merge are
+// ignored: the caller's dispatcher already embodies them.
+func NewWithDispatcher(conn *driver.Conn, cfg Config, disp dispatch.Dispatcher) *Store {
+	return &Store{
+		conn:  conn,
+		cfg:   cfg,
+		disp:  disp,
+		bySQL: make(map[string]QueryID),
+		cache: make(map[QueryID]*sqldb.ResultSet),
+		errs:  make(map[QueryID]error),
+	}
+}
+
+// Close releases dispatcher resources (the async worker goroutine).
+// Results already cached remain readable; no further registrations should
+// follow.
+func (s *Store) Close() { s.disp.Close() }
+
 // Conn returns the underlying connection.
 func (s *Store) Conn() *driver.Conn { return s.conn }
+
+// Dispatcher exposes the store's dispatch strategy (stats inspection).
+func (s *Store) Dispatcher() dispatch.Dispatcher { return s.disp }
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats { return s.stats }
 
 // ResetStats zeroes the counters (the cache and pending queue are kept).
+// Both merge counters restart from zero: they are per-store deltas, not
+// views of the optimizer's cumulative state.
 func (s *Store) ResetStats() {
 	s.stats = Stats{}
-	if s.merger != nil {
-		s.merger.ResetStats()
-	}
 }
 
-// MergeStats snapshots the merge optimizer's counters; the zero value when
-// merging is disabled.
+// MergeStats snapshots this store's merge stage counters (cumulative over
+// the store's lifetime); the zero value when merging is disabled or the
+// merging happens in a shared hub.
 func (s *Store) MergeStats() merge.Stats {
 	if s.merger == nil {
 		return merge.Stats{}
@@ -120,43 +184,16 @@ func (s *Store) MergeStats() merge.Stats {
 // PendingLen reports the size of the unexecuted batch.
 func (s *Store) PendingLen() int { return len(s.queue) }
 
-// dedupKey canonicalizes a statement for duplicate detection. It sits on
-// the per-registration hot path (the Sec. 6.6 overhead), so it avoids the
-// general value formatter.
-func dedupKey(st driver.Stmt) string {
-	if len(st.Args) == 0 {
-		return st.SQL
-	}
-	var sb strings.Builder
-	sb.Grow(len(st.SQL) + 12*len(st.Args))
-	sb.WriteString(st.SQL)
-	for _, a := range st.Args {
-		sb.WriteByte('\x1f')
-		switch v := sqldb.Normalize(a).(type) {
-		case nil:
-			sb.WriteString("~")
-		case int64:
-			sb.WriteString(strconv.FormatInt(v, 10))
-		case string:
-			sb.WriteString(v)
-		case float64:
-			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
-		case bool:
-			if v {
-				sb.WriteByte('T')
-			} else {
-				sb.WriteByte('F')
-			}
-		default:
-			sb.WriteString(sqldb.Format(v))
-		}
-	}
-	return sb.String()
-}
+// dedupKey canonicalizes a statement for within-batch duplicate detection
+// — the same canonical form the shared window uses for cross-session
+// coalescing (driver.Stmt.Key).
+func dedupKey(st driver.Stmt) string { return st.Key() }
 
 // Register adds a query to the store per the paper's RegisterQuery rules
-// and returns its id. Write statements flush the batch immediately; the
-// returned id's result is then already available.
+// and returns its id. Write statements flush the batch immediately; under
+// the synchronous dispatcher the returned id's result is then already
+// available and execution errors surface here, while deferred dispatchers
+// report them at force time.
 func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 	// Lightweight keyword classification keeps registration off the full
 	// parser: the statement is parsed once, server-side, at flush time.
@@ -181,7 +218,7 @@ func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 			s.bySQL[dedupKey(st)] = id
 		}
 		if s.cfg.BatchCap > 0 && len(s.queue) >= s.cfg.BatchCap {
-			if err := s.Flush(); err != nil {
+			if err := s.flushForProgress(); err != nil {
 				return 0, err
 			}
 		}
@@ -192,33 +229,75 @@ func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 	// left lingering in the query store (Sec. 3.3) and transaction
 	// boundaries hold.
 	s.stats.ForcedByWrite++
-	if err := s.Flush(); err != nil {
+	if err := s.flushForProgress(); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
+// flushForProgress is the flush used at write and batch-cap triggers: a
+// deferred dispatcher only submits (the pipelined flush — app compute
+// continues while the batch executes), while the synchronous dispatcher
+// executes and surfaces errors here, exactly as before the pipeline
+// existed.
+func (s *Store) flushForProgress() error {
+	if s.disp.Deferred() {
+		s.submit()
+		return nil
+	}
+	return s.Flush()
+}
+
 // ResultSet returns the result for id, flushing the pending batch in a
-// single round trip if the result is not yet cached.
+// single round trip if the result is not yet cached. An id whose batch
+// failed returns that batch's execution error.
 func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 	if rs, ok := s.cache[id]; ok {
 		return rs, nil
 	}
-	if err := s.Flush(); err != nil {
+	if err, ok := s.errs[id]; ok {
 		return nil, err
 	}
-	rs, ok := s.cache[id]
-	if !ok {
-		return nil, fmt.Errorf("querystore: unknown query id %d", id)
+	s.submit()
+	ferr := s.collect()
+	if rs, ok := s.cache[id]; ok {
+		return rs, nil
 	}
-	return rs, nil
+	if err, ok := s.errs[id]; ok {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return nil, fmt.Errorf("querystore: unknown query id %d", id)
 }
 
-// Flush sends every pending statement to the database in one round trip
-// and caches the results. A flush with an empty queue is a no-op.
+// Flush sends every pending statement to the database in one round trip,
+// waits for every in-flight batch, and caches the results. A flush with an
+// empty queue and no in-flight batches is a no-op. The returned error is
+// the first batch failure observed; the same error is also recorded
+// against every id of the failed batch, so later forces of those ids see
+// it (deferred-error delivery).
 func (s *Store) Flush() error {
+	s.submit()
+	return s.collect()
+}
+
+// FlushAsync is the pipelined-flush hint: under a deferred dispatcher it
+// submits the pending batch so execution overlaps the caller's subsequent
+// compute; under the synchronous dispatcher it is a no-op, preserving the
+// paper's flush-at-force behaviour (and never executing statements a
+// synchronous run would not have executed).
+func (s *Store) FlushAsync() {
+	if s.disp.Deferred() {
+		s.submit()
+	}
+}
+
+// submit hands the pending batch to the dispatcher.
+func (s *Store) submit() {
 	if len(s.queue) == 0 {
-		return nil
+		return
 	}
 	batch := s.queue
 	s.queue = nil
@@ -227,47 +306,51 @@ func (s *Store) Flush() error {
 	}
 
 	stmts := make([]driver.Stmt, len(batch))
+	ids := make([]QueryID, len(batch))
 	for i, p := range batch {
 		stmts[i] = p.stmt
+		ids[i] = p.id
 	}
-	sent := len(stmts)
-	if s.merger != nil {
-		// Batch-merge optimization: coalesce compatible point lookups into
-		// IN-list statements, execute the smaller batch, and demultiplex
-		// the results so each original query id gets exactly the rows its
-		// own statement would have returned.
-		plan := s.merger.Rewrite(stmts)
-		results, err := s.conn.ExecBatch(plan.Stmts)
-		if err != nil {
-			return err
-		}
-		demuxed, err := plan.Demux(results)
-		if err != nil {
-			return err
-		}
-		for i, p := range batch {
-			s.cache[p.id] = demuxed[i]
-		}
-		sent = len(plan.Stmts)
-		s.stats.MergeSaved += int64(plan.Saved())
-		s.stats.MergeGroups = s.merger.Stats().Groups
-	} else {
-		results, err := s.conn.ExecBatch(stmts)
-		if err != nil {
-			return err
-		}
-		for i, p := range batch {
-			s.cache[p.id] = results[i]
-		}
-	}
-	// Reuse the drained queue's backing array for the next batch.
-	s.queue = batch[:0]
+	t := s.disp.Submit(stmts)
+	s.inflight = append(s.inflight, inflight{t: t, ids: ids})
 	s.stats.Batches++
-	s.stats.Executed += int64(sent)
 	if len(batch) > s.stats.MaxBatch {
 		s.stats.MaxBatch = len(batch)
 	}
-	return nil
+	// Reuse the drained queue's backing array for the next batch.
+	s.queue = batch[:0]
+}
+
+// collect waits for every in-flight batch, caching results and recording
+// deferred errors per id. Returns the first batch error observed.
+func (s *Store) collect() error {
+	var first error
+	for _, f := range s.inflight {
+		results, bs, err := s.disp.Wait(f.t)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			// Deferred-error delivery: every id of the failed batch
+			// reports the original execution error at force time instead
+			// of "unknown query id".
+			for _, id := range f.ids {
+				if _, dup := s.errs[id]; !dup {
+					s.errs[id] = err
+				}
+			}
+			continue
+		}
+		for i, id := range f.ids {
+			s.cache[id] = results[i]
+		}
+		s.stats.Executed += int64(bs.Sent)
+		s.stats.MergeSaved += int64(bs.Saved)
+		s.stats.MergeGroups += int64(bs.Groups)
+		s.stats.SharedHits += int64(bs.SharedHits)
+	}
+	s.inflight = s.inflight[:0]
+	return first
 }
 
 // Exec registers a statement and immediately demands its result: the

@@ -2,10 +2,12 @@ package querystore
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/driver"
 	"repro/internal/merge"
 	"repro/internal/netsim"
@@ -427,5 +429,217 @@ func TestMergeEnabledStoreEquivalence(t *testing.T) {
 	}
 	if ms := merged.MergeStats(); ms.Merged != 3 || ms.Groups != 1 {
 		t.Fatalf("merge stats = %+v, want 3 merged into 1 group", ms)
+	}
+}
+
+// --- Deferred-error delivery and error-path coverage (dispatch pipeline) ---
+
+// TestWriteFlushFailureRecordsDeferredErrors is the regression test for the
+// dropped-queue bug: a failed write-triggered flush used to discard the
+// pending ids, so forcing a read registered before the write reported
+// "unknown query id" instead of the execution error. The flush error must
+// now surface both at Register (synchronous dispatch) and at every force
+// of an id from the failed batch.
+func TestWriteFlushFailureRecordsDeferredErrors(t *testing.T) {
+	s, _ := rig(t, Config{})
+	rid, err := s.Register("SELECT * FROM items WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := s.Register("UPDATE no_such_table SET x = 1")
+	if werr == nil {
+		t.Fatal("failing write accepted")
+	}
+	rrs, rerr := s.ResultSet(rid)
+	if rerr == nil {
+		t.Fatalf("read from failed batch returned %v, want the flush error", rrs)
+	}
+	if rerr.Error() != werr.Error() {
+		t.Fatalf("force error %q, want original flush error %q", rerr, werr)
+	}
+	if strings.Contains(rerr.Error(), "unknown query id") {
+		t.Fatalf("deferred error degraded to %q", rerr)
+	}
+}
+
+// TestResultSetFailedBatchStable: forcing an id from a failed batch keeps
+// returning the recorded execution error, not "unknown query id".
+func TestResultSetFailedBatchStable(t *testing.T) {
+	s, _ := rig(t, Config{})
+	id, _ := s.Register("SELECT * FROM no_such_table")
+	_, err1 := s.ResultSet(id)
+	if err1 == nil {
+		t.Fatal("expected execution error")
+	}
+	_, err2 := s.ResultSet(id)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("second force returned %v, want stable %v", err2, err1)
+	}
+	// A query registered after the failure executes normally.
+	rs, err := s.Exec("SELECT name FROM items WHERE id = 3")
+	if err != nil || rs.Rows[0][0] != "fig" {
+		t.Fatalf("store unusable after failed batch: %v %v", rs, err)
+	}
+}
+
+// TestBatchCapFlushUnderDisableDedup: with dedup off, duplicate statements
+// count toward the cap and flush as distinct queries with distinct ids.
+func TestBatchCapFlushUnderDisableDedup(t *testing.T) {
+	s, link := rig(t, Config{BatchCap: 2, DisableDedup: true})
+	id1, _ := s.Register("SELECT qty FROM items WHERE id = 1")
+	if link.Stats().RoundTrips != 0 {
+		t.Fatal("flushed before cap")
+	}
+	id2, _ := s.Register("SELECT qty FROM items WHERE id = 1")
+	if id1 == id2 {
+		t.Fatal("dedup happened despite DisableDedup")
+	}
+	if link.Stats().RoundTrips != 1 {
+		t.Fatalf("cap did not flush: %d trips", link.Stats().RoundTrips)
+	}
+	if s.PendingLen() != 0 {
+		t.Fatal("queue not drained at cap")
+	}
+	for _, id := range []QueryID{id1, id2} {
+		rs, err := s.ResultSet(id)
+		if err != nil || rs.Rows[0][0] != int64(5) {
+			t.Fatalf("id %d: %v %v", id, rs, err)
+		}
+	}
+	if st := s.Stats(); st.Executed != 2 || st.Batches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMergeStatsPerStoreDeltas: MergeSaved and MergeGroups are both
+// per-store deltas — after ResetStats they reflect only subsequent
+// flushes. (MergeGroups used to be overwritten from the merger's
+// cumulative counter, so it double-counted after a reset.)
+func TestMergeStatsPerStoreDeltas(t *testing.T) {
+	s, _ := rig(t, Config{Merge: merge.Config{Enabled: true}})
+	family := func() {
+		for i := 1; i <= 3; i++ {
+			if _, err := s.Register("SELECT id, qty FROM items WHERE id = ?", int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	family()
+	st := s.Stats()
+	if st.MergeSaved != 2 || st.MergeGroups != 1 {
+		t.Fatalf("first flush stats = %+v, want saved 2 groups 1", st)
+	}
+	s.ResetStats()
+	family()
+	st = s.Stats()
+	if st.MergeSaved != 2 || st.MergeGroups != 1 {
+		t.Fatalf("post-reset stats = %+v, want per-store deltas saved 2 groups 1", st)
+	}
+	// The merger's own cumulative view keeps the full history.
+	if ms := s.MergeStats(); ms.Groups != 2 || ms.Saved != 4 {
+		t.Fatalf("cumulative merge stats = %+v, want groups 2 saved 4", ms)
+	}
+}
+
+// TestAsyncStoreDeferredWriteError: under the async dispatcher a failing
+// write-triggered flush does not fail Register — the error arrives at
+// force time for every id in the batch (pipelined flush semantics).
+func TestAsyncStoreDeferredWriteError(t *testing.T) {
+	s, _ := rig(t, Config{Dispatch: dispatch.KindAsync})
+	defer s.Close()
+	rid, _ := s.Register("SELECT * FROM items WHERE id = 2")
+	wid, err := s.Register("UPDATE no_such_table SET x = 1")
+	if err != nil {
+		t.Fatalf("async write registration surfaced flush error eagerly: %v", err)
+	}
+	if _, err := s.ResultSet(wid); err == nil {
+		t.Fatal("write force missed the deferred execution error")
+	}
+	if _, err := s.ResultSet(rid); err == nil {
+		t.Fatal("read force missed the deferred execution error")
+	}
+}
+
+// TestAsyncStoreEquivalence: the async dispatcher returns the same rows as
+// the synchronous one for an interleaved read/write sequence.
+func TestAsyncStoreEquivalence(t *testing.T) {
+	run := func(cfg Config) []string {
+		s, _ := rig(t, cfg)
+		defer s.Close()
+		var out []string
+		ids := []QueryID{}
+		for i := 1; i <= 3; i++ {
+			id, err := s.Register("SELECT name, qty FROM items WHERE id = ?", int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		if _, err := s.Exec("UPDATE items SET qty = 42 WHERE id = 2"); err != nil {
+			t.Fatal(err)
+		}
+		post, err := s.Exec("SELECT qty FROM items WHERE id = 2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			rs, err := s.ResultSet(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rs.String())
+		}
+		return append(out, post.String())
+	}
+	want := run(Config{})
+	got := run(Config{Dispatch: dispatch.KindAsync})
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("async results diverge:\nsync  %v\nasync %v", want, got)
+	}
+}
+
+// TestSharedStoresCoalesceViaHub: two stores feeding one hub execute an
+// identical lookup once, and the second store observes it as a shared hit.
+func TestSharedStoresCoalesceViaHub(t *testing.T) {
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	boot := srv.Connect(netsim.NewLink(clock, 0))
+	for _, sql := range []string{
+		"CREATE TABLE items (id INT PRIMARY KEY, name TEXT)",
+		"INSERT INTO items (id, name) VALUES (1, 'apple')",
+	} {
+		if _, err := boot.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub := dispatch.NewHub(srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), 0)), 0)
+	mk := func() *Store {
+		return New(srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), 0)),
+			Config{Dispatch: dispatch.KindShared, Hub: hub})
+	}
+	s1, s2 := mk(), mk()
+	id1, _ := s1.Register("SELECT name FROM items WHERE id = 1")
+	id2, _ := s2.Register("SELECT name FROM items WHERE id = 1")
+	s1.FlushAsync()
+	s2.FlushAsync()
+	before := srv.Stats().Queries
+	rs1, err := s1.ResultSet(id1)
+	if err != nil || rs1.Rows[0][0] != "apple" {
+		t.Fatalf("s1: %v %v", rs1, err)
+	}
+	rs2, err := s2.ResultSet(id2)
+	if err != nil || rs2.Rows[0][0] != "apple" {
+		t.Fatalf("s2: %v %v", rs2, err)
+	}
+	if got := srv.Stats().Queries - before; got != 1 {
+		t.Fatalf("server executed %d statements, want 1", got)
+	}
+	if s1.Stats().SharedHits+s2.Stats().SharedHits != 1 {
+		t.Fatalf("shared hits: s1 %d s2 %d, want total 1",
+			s1.Stats().SharedHits, s2.Stats().SharedHits)
 	}
 }

@@ -150,20 +150,46 @@ func (a *App) PageNames() []string {
 // Load executes one page request in the given session. The session's mode
 // decides original vs Sloth behaviour; the writer defers thunks exactly
 // when the session is a Sloth session.
+//
+// App-server time is charged to the session's own clock (the clock behind
+// its connection), in two steps whose sum is unchanged from the original
+// single lump: the ControllerBase share lands between the controller and
+// the view — the framework's template-setup window — and the remainder
+// lands after rendering. Splitting matters for the deferred dispatch
+// strategies: the query store's pipelined-flush hint fires right before
+// the template-setup charge, so the accumulated batch crosses the network
+// and executes while the virtual clock advances through setup, and the
+// first force pays only whatever completion time is left. Under the
+// synchronous dispatcher the hint is a no-op and the charges commute, so
+// timing and results are identical to the pre-pipeline behaviour.
 func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) {
 	page, ok := a.pages[name]
 	if !ok {
 		return nil, fmt.Errorf("webapp: no page %q", name)
 	}
+	clock := a.clock
+	if c := sess.Conn().Clock(); c != nil {
+		clock = c
+	}
 
 	thunksBefore := thunk.GlobalStats().Allocs()
 	entitiesBefore := sess.Stats().Deserialized
 	tripsBefore := sess.Conn().Link().Stats().RoundTrips
+	batchesBefore := sess.Store().Stats().Batches
 
 	ctx := &Ctx{Session: sess, Req: req, Model: make(Model)}
 	if err := page.Controller(ctx); err != nil {
 		return nil, fmt.Errorf("webapp: page %q controller: %w", name, err)
 	}
+
+	// Pipelined flush (paper Sec. 5, "async" extension): the model is
+	// complete, so everything registered so far can start executing while
+	// the view is prepared. Deferred dispatchers overlap it; the
+	// synchronous dispatcher ignores the hint.
+	if sess.Sloth() {
+		sess.Store().FlushAsync()
+	}
+	clock.Advance(a.profile.ControllerBase)
 
 	w := NewThunkWriter(sess.Sloth())
 	page.View(w, ctx.Model)
@@ -179,7 +205,16 @@ func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) 
 		ThunkAllocs: thunk.GlobalStats().Allocs() - thunksBefore,
 		Entities:    sess.Stats().Deserialized - entitiesBefore,
 	}
-	trips := sess.Conn().Link().Stats().RoundTrips - tripsBefore
+	// PerRoundTrip is the client-side driver work of shipping one batch. A
+	// Sloth session counts the batches it SUBMITTED (deterministic — a
+	// deferred dispatcher's worker may still be crossing the link for
+	// speculative batches when the page finishes, and shared windows cross
+	// on the hub's link, not the session's); an original-mode session
+	// counts its link round trips, which it always blocked for.
+	trips := sess.Store().Stats().Batches - batchesBefore
+	if !sess.Sloth() {
+		trips = sess.Conn().Link().Stats().RoundTrips - tripsBefore
+	}
 	res.AppTime = a.profile.ControllerBase +
 		time.Duration(res.ModelPuts+res.Rendered)*a.profile.PerOp +
 		time.Duration(res.Entities)*a.profile.PerEntity +
@@ -189,6 +224,6 @@ func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) 
 		// mode code has no thunks (its Lazy wrappers model plain values).
 		res.AppTime += time.Duration(res.ThunkAllocs) * a.profile.PerThunk
 	}
-	a.clock.Advance(res.AppTime)
+	clock.Advance(res.AppTime - a.profile.ControllerBase)
 	return res, nil
 }
