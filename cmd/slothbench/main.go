@@ -23,6 +23,7 @@ func main() {
 	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
 	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
 	mergeOn := flag.Bool("merge", false, "enable the batch query-merge optimizer for suite experiments")
+	families := flag.String("families", "all", "merge families when -merge is set: all (equality+aggregate+range) | eq (equality only, the PR 1 baseline)")
 	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
 	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8,16)")
 	flag.Parse()
@@ -33,13 +34,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, kind, *dispatchFlag != "", *sessions); err != nil {
+	if *families != "all" && *families != "eq" {
+		fmt.Fprintf(os.Stderr, "slothbench: unknown -families %q (want all or eq)\n", *families)
+		os.Exit(1)
+	}
+
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool, kind dispatch.Kind, kindSet bool, sessions int) error {
+func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions int) error {
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
 		build := func() (*bench.Env, error) {
@@ -48,7 +54,11 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn bool, kind dispa
 				return nil, err
 			}
 			if mergeOn {
-				env.StoreCfg = bench.MergeConfig()
+				if eqOnly {
+					env.StoreCfg = bench.EqualityMergeConfig()
+				} else {
+					env.StoreCfg = bench.MergeConfig()
+				}
 			}
 			env.StoreCfg.Dispatch = kind
 			return env, nil

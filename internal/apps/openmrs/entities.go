@@ -265,6 +265,7 @@ type Metas struct {
 	PrivsOfRole       *orm.HasMany[Role, RolePrivilege]
 	IdentifiersOf     *orm.HasMany[Patient, PatientIdentifier]
 	EncountersOf      *orm.HasMany[Patient, Encounter]
+	EncountersOfVisit *orm.HasMany[Visit, Encounter]
 	VisitsOf          *orm.HasMany[Patient, Visit]
 	ObsOfEncounter    *orm.HasMany[Encounter, Obs]
 	ObsOfPatient      *orm.HasMany[Patient, Obs]
@@ -340,6 +341,7 @@ func NewMetas() *Metas {
 	m.PrivsOfRole = orm.NewHasMany(m.Roles, m.RolePrivileges, "role_id", orm.FetchLazy)
 	m.IdentifiersOf = orm.NewHasMany(m.Patients, m.Identifiers, "patient_id", orm.FetchEager)
 	m.EncountersOf = orm.NewHasMany(m.Patients, m.Encounters, "patient_id", orm.FetchLazy)
+	m.EncountersOfVisit = orm.NewHasMany(m.Visits, m.Encounters, "visit_id", orm.FetchLazy)
 	m.VisitsOf = orm.NewHasMany(m.Patients, m.Visits, "patient_id", orm.FetchLazy)
 	m.ObsOfEncounter = orm.NewHasMany(m.Encounters, m.Observations, "encounter_id", orm.FetchLazy)
 	m.ObsOfPatient = orm.NewHasMany(m.Patients, m.Observations, "patient_id", orm.FetchLazy)

@@ -243,6 +243,21 @@ func (a *App) patientDashboard() webapp.Page {
 				}
 				return out
 			}))
+			// The visits tab lists every visit with its encounter count — the
+			// per-row `SELECT COUNT(*) ... WHERE visit_id = ?` fan-out of the
+			// real dashboard. The counts register first, so they reach the
+			// flush batch as one aggregate merge family, then force.
+			c.Put("visitSummaries", orm.Map(visits, func(vs []*Visit) []string {
+				counts := make([]orm.Lazy[int64], len(vs))
+				for i, v := range vs {
+					counts[i] = a.M.EncountersOfVisit.CountOf(c.Session, v.ID)
+				}
+				out := make([]string, len(vs))
+				for i, v := range vs {
+					out[i] = fmt.Sprintf("visit %d type=%d encounters=%d", v.ID, v.VisitTypeID, counts[i].Must())
+				}
+				return out
+			}))
 			c.Put("activeVisits", a.M.VisitsOf.OfWhere(c.Session, p.ID, "active = TRUE")) // Q4: unforced
 			c.Put("identifiers", a.M.IdentifiersOf.Of(c.Session, p.ID))
 			c.Put("programs", a.M.ProgramsOf.Of(c.Session, p.ID))
@@ -251,7 +266,7 @@ func (a *App) patientDashboard() webapp.Page {
 			return nil
 		},
 		View: renderStdKeys("patient", "patientEncounters", "patientVisits",
-			"activeVisits", "identifiers", "programs", "obsCount"),
+			"visitSummaries", "activeVisits", "identifiers", "programs", "obsCount"),
 		// note: "orders" is never rendered — registered but only executed
 		// because it shares the final batch.
 	}
@@ -489,9 +504,13 @@ func (a *App) usersList() webapp.Page {
 			rows := make([]any, 0, len(users))
 			for _, u := range users {
 				person := a.M.Persons.Find(c.Session, u.PersonID)
+				// Pending-alert badge per listed user: the per-row
+				// `SELECT COUNT(*) ... WHERE user_id = ?` fan-out that the
+				// aggregate merge family folds into one GROUP BY statement.
+				alerts := a.M.AlertsOfUser.CountOf(c.Session, u.ID)
 				name := u.Username
 				rows = append(rows, orm.Map(person, func(p *Person) string {
-					return fmt.Sprintf("%s(%s)", name, p.Gender)
+					return fmt.Sprintf("%s(%s) alerts=%d", name, p.Gender, alerts.Must())
 				}))
 			}
 			c.Put("userRows", rows)

@@ -55,6 +55,10 @@ func TestDispatchGoldenWithMerge(t *testing.T) {
 	}{
 		{Itracker, "module-projects/list projects.jsp"},
 		{OpenMRS, "encounters/encounterDisplay.jsp"},
+		// Aggregate-family pages: per-row COUNT fan-outs that merge into
+		// GROUP BY statements must demux identically under every strategy.
+		{OpenMRS, "patientDashboardForm.jsp"},
+		{OpenMRS, "admin/users/users.jsp"},
 	}
 	rtt := 500 * time.Microsecond
 	for _, tc := range cases {

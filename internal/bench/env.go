@@ -129,6 +129,9 @@ type PageMetrics struct {
 	Queries    int64 // statements executed at the database
 	MaxBatch   int
 	MergeSaved int64 // statements eliminated by the merge optimizer
+	// MergeFamilySaved breaks MergeSaved down per merge family
+	// (merge.FamilyID-indexed).
+	MergeFamilySaved [merge.NumFamilies]int64
 }
 
 // LoadPage runs one page in the given mode at the given RTT, on a fresh
@@ -179,6 +182,7 @@ func (e *Env) LoadPageHTML(page string, mode orm.Mode, rtt time.Duration, cfg qu
 		MaxBatch:   store.Stats().MaxBatch,
 		MergeSaved: store.Stats().MergeSaved,
 	}
+	m.MergeFamilySaved = store.Stats().MergeSavedByFamily
 	if mode == orm.ModeOriginal {
 		m.MaxBatch = 1
 	}

@@ -97,9 +97,11 @@ func TestMergeListPagesStrictlyFewer(t *testing.T) {
 	}
 }
 
-// TestMergeAblationLadder checks the off / dedup / merge report rows are
-// monotone in executed statements and that merging also reduces charged DB
-// time relative to dedup-only batching.
+// TestMergeAblationLadder checks the off / dedup / merge / agg report rows
+// are monotone in executed statements — the agg rung (aggregate + range
+// families) must cut statements beyond the equality-only merge baseline —
+// and that merging also reduces charged DB time relative to dedup-only
+// batching.
 func TestMergeAblationLadder(t *testing.T) {
 	env, err := NewEnv(Itracker, 1)
 	if err != nil {
@@ -109,19 +111,32 @@ func TestMergeAblationLadder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 3 {
-		t.Fatalf("want 3 rows, got %d", len(rep.Rows))
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rep.Rows))
 	}
-	off, dedup, merged := rep.Rows[0], rep.Rows[1], rep.Rows[2]
-	if !(off.Queries > dedup.Queries && dedup.Queries > merged.Queries) {
-		t.Fatalf("statement ladder not monotone: off %d, dedup %d, merge %d",
-			off.Queries, dedup.Queries, merged.Queries)
+	off, dedup, merged, agg := rep.Rows[0], rep.Rows[1], rep.Rows[2], rep.Rows[3]
+	if !(off.Queries > dedup.Queries && dedup.Queries > merged.Queries && merged.Queries > agg.Queries) {
+		t.Fatalf("statement ladder not monotone: off %d, dedup %d, merge %d, agg %d",
+			off.Queries, dedup.Queries, merged.Queries, agg.Queries)
 	}
 	if merged.DBTime >= dedup.DBTime {
 		t.Fatalf("merging did not reduce DB time: dedup %v, merge %v", dedup.DBTime, merged.DBTime)
 	}
-	if rep.StatementsSaved() != dedup.Queries-merged.Queries {
-		t.Fatalf("StatementsSaved = %d, want %d", rep.StatementsSaved(), dedup.Queries-merged.Queries)
+	if merged.FamilySaved[merge.FamilyAggregate] != 0 {
+		t.Fatalf("equality-only rung saved %d aggregate statements", merged.FamilySaved[merge.FamilyAggregate])
+	}
+	if agg.FamilySaved[merge.FamilyAggregate] <= 0 {
+		t.Fatalf("agg rung saved no aggregate statements: %+v", agg.FamilySaved)
+	}
+	var famTotal int64
+	for _, n := range agg.FamilySaved {
+		famTotal += n
+	}
+	if famTotal != agg.Saved {
+		t.Fatalf("per-family saved %d does not sum to total %d", famTotal, agg.Saved)
+	}
+	if rep.StatementsSaved() != dedup.Queries-agg.Queries {
+		t.Fatalf("StatementsSaved = %d, want %d", rep.StatementsSaved(), dedup.Queries-agg.Queries)
 	}
 	t.Log("\n" + rep.Format())
 }
@@ -206,4 +221,34 @@ func TestMergeTPCCRuns(t *testing.T) {
 	if conn.InTxn() {
 		t.Fatal("transaction left open under merge")
 	}
+}
+
+// TestAggregateFamilyBeatsEqualityBaselineOpenMRS pins the acceptance
+// criterion on the second app: the aggregate family must cut OpenMRS
+// statements beyond the equality-only baseline (the per-visit and per-user
+// COUNT fan-outs).
+func TestAggregateFamilyBeatsEqualityBaselineOpenMRS(t *testing.T) {
+	env, err := NewEnv(OpenMRS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MergeAblation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, ok := rep.Row("merge")
+	if !ok {
+		t.Fatal("missing merge row")
+	}
+	agg, ok := rep.Row("agg")
+	if !ok {
+		t.Fatal("missing agg row")
+	}
+	if agg.Queries >= eq.Queries {
+		t.Fatalf("aggregate family saved nothing on OpenMRS: merge %d, agg %d", eq.Queries, agg.Queries)
+	}
+	if agg.FamilySaved[merge.FamilyAggregate] <= 0 {
+		t.Fatalf("agg rung reports no aggregate-family savings: %+v", agg.FamilySaved)
+	}
+	t.Log("\n" + rep.Format())
 }

@@ -56,12 +56,8 @@ func (a *Async) worker() {
 		}
 		t.results, t.err = results, err
 		t.completeAt = done
-		t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
-		if err == nil {
-			a.box.mu.Lock()
-			a.box.stats.StmtsOut += int64(len(out))
-			a.box.mu.Unlock()
-		}
+		t.bs = batchStats(len(out), ss)
+		a.box.addExec(len(out), ss, err)
 		close(t.done)
 	}
 }

@@ -80,11 +80,15 @@ type BatchStats struct {
 	// cross-session coalescing of the statements this batch introduced).
 	Sent int
 	// Saved is how many of this batch's statements the merge stage
-	// eliminated.
+	// eliminated. Under shared dispatch the window-level savings are
+	// pro-rated across the window's contributing batches by the statements
+	// each introduced, so per-store totals still sum to the hub totals.
 	Saved int
-	// Groups is how many merged IN-list statements the merge stage emitted
-	// for this batch.
+	// Groups is how many merged statements the merge stage emitted for
+	// this batch (pro-rated likewise under shared dispatch).
 	Groups int
+	// SavedByFamily breaks Saved down per merge family (FamilyID-indexed).
+	SavedByFamily [merge.NumFamilies]int
 	// SharedHits is how many of this batch's statements were answered by
 	// an identical statement another session (or an earlier position in
 	// the same window) had already contributed.
@@ -129,15 +133,28 @@ type Dispatcher interface {
 type Stats struct {
 	Submitted int64 // batches submitted
 	StmtsIn   int64 // statements submitted
-	StmtsOut  int64 // statements actually executed at the database
+	// StmtsOut is statements handed to the database after pipeline
+	// rewriting — attempts, counted whether or not the batch then failed,
+	// so the error path and the success path account identically; Errors
+	// records the failures.
+	StmtsOut int64
+	// Errors counts batch executions that failed.
+	Errors int64
 	// OverlapSaved is virtual time that batch execution spent overlapped
 	// with app-server compute: the portion of completion time a session
 	// did not have to wait for (async and shared only).
 	OverlapSaved time.Duration
 	// Windows and Coalesced describe shared-window activity: windows
-	// closed, and statements answered by another in-window statement.
+	// closed (attempts, like StmtsOut), and statements answered by another
+	// in-window statement.
 	Windows   int64
 	Coalesced int64
+	// MergeSaved and MergeGroups attribute the merge stage's activity at
+	// this dispatcher's level: for a shared hub these are the window-level
+	// savings (which per-session BatchStats pro-rate), for the per-session
+	// strategies they mirror the per-batch stage totals.
+	MergeSaved  int64
+	MergeGroups int64
 }
 
 // Demux maps executed results back onto a batch's original statements.
@@ -145,8 +162,9 @@ type Demux func([]*sqldb.ResultSet) ([]*sqldb.ResultSet, error)
 
 // StageStats is one stage's effect on one batch.
 type StageStats struct {
-	Saved  int // statements eliminated
-	Groups int // merged statements emitted
+	Saved         int                    // statements eliminated
+	Groups        int                    // merged statements emitted
+	SavedByFamily [merge.NumFamilies]int // Saved broken down per merge family
 }
 
 // Stage is one pipeline rewrite pass: it may coalesce, reorder-preserving,
@@ -167,7 +185,11 @@ func MergeStage(m *merge.Merger) Stage { return mergeStage{m: m} }
 
 func (s mergeStage) Apply(stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats) {
 	plan := s.m.Rewrite(stmts)
-	return plan.Stmts, plan.Demux, StageStats{Saved: plan.Saved(), Groups: plan.Groups()}
+	return plan.Stmts, plan.Demux, StageStats{
+		Saved:         plan.Saved(),
+		Groups:        plan.Groups(),
+		SavedByFamily: plan.SavedByFamily(),
+	}
 }
 
 // applyStages chains the pipeline over a batch, composing demuxes in
@@ -185,6 +207,9 @@ func applyStages(stages []Stage, stmts []driver.Stmt) ([]driver.Stmt, Demux, Sta
 		}
 		total.Saved += ss.Saved
 		total.Groups += ss.Groups
+		for f, n := range ss.SavedByFamily {
+			total.SavedByFamily[f] += n
+		}
 	}
 	if len(demuxes) == 0 {
 		return out, nil, total
@@ -230,4 +255,24 @@ func (b *statsBox) addSubmit(n int) {
 	b.stats.Submitted++
 	b.stats.StmtsIn += int64(n)
 	b.mu.Unlock()
+}
+
+// addExec records one attempted batch execution: statements handed to the
+// database, the pipeline's merge effect, and whether execution failed.
+// Attempts and errors are counted explicitly so the error path accounts
+// exactly like the success path.
+func (b *statsBox) addExec(sent int, ss StageStats, err error) {
+	b.mu.Lock()
+	b.stats.StmtsOut += int64(sent)
+	b.stats.MergeSaved += int64(ss.Saved)
+	b.stats.MergeGroups += int64(ss.Groups)
+	if err != nil {
+		b.stats.Errors++
+	}
+	b.mu.Unlock()
+}
+
+// batchStats fills the per-batch ticket stats from a stage total.
+func batchStats(sent int, ss StageStats) BatchStats {
+	return BatchStats{Sent: sent, Saved: ss.Saved, Groups: ss.Groups, SavedByFamily: ss.SavedByFamily}
 }

@@ -247,3 +247,155 @@ func TestAsyncErrorDeferredToWait(t *testing.T) {
 		t.Fatal("missing execution error at Wait")
 	}
 }
+
+// TestSharedWindowAttributesMergeStats pins the fix for the lost window
+// savings: when the hub's merge stage coalesces a cross-session family,
+// the hub stats must carry the window-level Saved/Groups, and the tickets'
+// BatchStats must pro-rate them across contributing sessions so the
+// per-session shares sum to the window totals.
+func TestSharedWindowAttributesMergeStats(t *testing.T) {
+	_, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0, MergeStage(merge.New(merge.Config{Enabled: true})))
+	conn1, _ := connect(0)
+	conn2, _ := connect(0)
+	d1 := NewShared(hub, conn1)
+	d2 := NewShared(hub, conn2)
+
+	// Two sessions contribute distinct members of one equality family:
+	// the combined window merges 4 statements into 1.
+	t1 := d1.Submit([]driver.Stmt{sel(1), sel(2)})
+	t2 := d2.Submit([]driver.Stmt{sel(3), {SQL: "SELECT id, name, qty FROM items WHERE qty > ?", Args: []sqldb.Value{int64(100)}}})
+	mustWait(t, d1, t1)
+	mustWait(t, d2, t2)
+
+	hs := hub.Stats()
+	if hs.MergeSaved != 2 || hs.MergeGroups != 1 {
+		t.Fatalf("hub merge stats: saved %d groups %d, want 2/1", hs.MergeSaved, hs.MergeGroups)
+	}
+	_, bs1, _ := d1.Wait(t1)
+	_, bs2, _ := d2.Wait(t2)
+	if got := bs1.Saved + bs2.Saved; int64(got) != hs.MergeSaved {
+		t.Fatalf("pro-rated Saved %d+%d does not sum to hub %d", bs1.Saved, bs2.Saved, hs.MergeSaved)
+	}
+	if got := bs1.Groups + bs2.Groups; int64(got) != hs.MergeGroups {
+		t.Fatalf("pro-rated Groups %d+%d does not sum to hub %d", bs1.Groups, bs2.Groups, hs.MergeGroups)
+	}
+	// Each ticket must be internally consistent: its per-family breakdown
+	// sums to its own Saved share — and therefore cross-ticket family sums
+	// reassemble the hub total.
+	famSum := 0
+	for i, bs := range []BatchStats{bs1, bs2} {
+		perTicket := 0
+		for _, n := range bs.SavedByFamily {
+			perTicket += n
+		}
+		if perTicket != bs.Saved {
+			t.Fatalf("ticket %d: SavedByFamily sums to %d, Saved is %d", i+1, perTicket, bs.Saved)
+		}
+		famSum += perTicket
+	}
+	if int64(famSum) != hs.MergeSaved {
+		t.Fatalf("per-family shares sum to %d, hub saved %d", famSum, hs.MergeSaved)
+	}
+	// The bigger contributor gets the bigger share.
+	if bs1.Saved < bs2.Saved {
+		t.Fatalf("pro-rating inverted: 2-stmt entry got %d, 2-stmt entry got %d", bs1.Saved, bs2.Saved)
+	}
+}
+
+// TestSharedWindowErrorAccounting pins the error-path consistency fix: a
+// failing window still counts its attempt (Windows, StmtsOut) and counts
+// the failure in Errors, and every contributing session observes the
+// error.
+func TestSharedWindowErrorAccounting(t *testing.T) {
+	_, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0)
+	conn1, _ := connect(0)
+	conn2, _ := connect(0)
+	d1 := NewShared(hub, conn1)
+	d2 := NewShared(hub, conn2)
+
+	t1 := d1.Submit([]driver.Stmt{sel(1)})
+	t2 := d2.Submit([]driver.Stmt{{SQL: "SELECT * FROM no_such_table"}})
+	hub.CloseWindow()
+
+	if _, _, err := d1.Wait(t1); err == nil {
+		t.Fatal("session 1 did not observe the window error")
+	}
+	if _, _, err := d2.Wait(t2); err == nil {
+		t.Fatal("session 2 did not observe the window error")
+	}
+	hs := hub.Stats()
+	if hs.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", hs.Errors)
+	}
+	if hs.Windows != 1 {
+		t.Fatalf("Windows = %d, want 1 (attempts count on the error path)", hs.Windows)
+	}
+	if hs.StmtsOut != 2 {
+		t.Fatalf("StmtsOut = %d, want 2 (attempted statements count on the error path)", hs.StmtsOut)
+	}
+}
+
+// TestProrate pins the remainder distribution: shares are proportional,
+// deterministic, and always sum to the total.
+func TestProrate(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []int
+		want    []int
+	}{
+		{2, []int{2, 2}, []int{1, 1}},
+		{3, []int{2, 1}, []int{2, 1}},
+		{1, []int{1, 1, 1}, []int{1, 0, 0}},
+		{5, []int{0, 5}, []int{0, 5}},
+		{4, []int{0, 0}, []int{4, 0}},
+		{0, []int{3, 4}, []int{0, 0}},
+		{7, []int{1, 1, 1}, []int{3, 2, 2}},
+	}
+	for _, tc := range cases {
+		got := prorate(tc.total, tc.weights)
+		sum := 0
+		for _, n := range got {
+			sum += n
+		}
+		if sum != tc.total {
+			t.Fatalf("prorate(%d,%v) = %v, sums to %d", tc.total, tc.weights, got, sum)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("prorate(%d,%v) = %v, want %v", tc.total, tc.weights, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestProrateFamiliesConsistentWithSavedShares pins the invariant the
+// review flagged: family shares are allocated inside the Saved shares, so
+// every entry's family breakdown sums to its Saved share and every
+// family's cross-entry sum equals its total.
+func TestProrateFamiliesConsistentWithSavedShares(t *testing.T) {
+	// The adversarial case: 3 total saved, one per family, two equal-weight
+	// entries. Independent pro-rating would give entry 0 a Saved of 2 but a
+	// family sum of 3; nested allocation must keep them equal.
+	famTotals := [merge.NumFamilies]int{1, 1, 1}
+	savedShares := []int{2, 1}
+	got := prorateFamilies(famTotals, savedShares)
+	var perFam [merge.NumFamilies]int
+	for k, shares := range got {
+		sum := 0
+		for f, n := range shares {
+			sum += n
+			perFam[f] += n
+		}
+		if sum != savedShares[k] {
+			t.Fatalf("entry %d: family shares %v sum to %d, Saved share is %d",
+				k, shares, sum, savedShares[k])
+		}
+	}
+	if perFam != famTotals {
+		t.Fatalf("cross-entry family sums %v, want %v", perFam, famTotals)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/merge"
 	"repro/internal/netsim"
 	"repro/internal/sqldb"
 )
@@ -173,17 +174,40 @@ func (h *Hub) closeLocked() {
 		results, err = demux(results)
 	}
 
+	// Window-level accounting: attempts (Windows, Coalesced, StmtsOut) and
+	// errors count explicitly, so a failed window is visible rather than
+	// silently under-reported, and the merge stage's window-level savings
+	// land on the hub instead of vanishing.
 	h.box.stats.Windows++
 	h.box.stats.Coalesced += int64(totalIn - len(combined))
-	if err == nil {
-		h.box.stats.StmtsOut += int64(len(out))
+	h.box.stats.StmtsOut += int64(len(out))
+	h.box.stats.MergeSaved += int64(ss.Saved)
+	h.box.stats.MergeGroups += int64(ss.Groups)
+	if err != nil {
+		h.box.stats.Errors++
 	}
-	_ = ss // window-level merge savings are visible via StmtsOut vs StmtsIn
 
-	for _, e := range entries {
+	// Pro-rate the window's merge savings across the contributing entries
+	// by the statements each introduced into the combined batch, so
+	// per-session (and per-store) merge counters sum to the hub totals.
+	intros := make([]int, len(entries))
+	for i, e := range entries {
+		intros[i] = e.intro
+	}
+	savedShares := prorate(ss.Saved, intros)
+	groupShares := prorate(ss.Groups, intros)
+	famShares := prorateFamilies(ss.SavedByFamily, savedShares)
+
+	for k, e := range entries {
 		t := e.t
 		t.completeAt = done
-		t.bs = BatchStats{Sent: e.intro, SharedHits: len(t.stmts) - e.intro}
+		t.bs = BatchStats{
+			Sent:          e.intro,
+			SharedHits:    len(t.stmts) - e.intro,
+			Saved:         savedShares[k],
+			Groups:        groupShares[k],
+			SavedByFamily: famShares[k],
+		}
 		if err != nil {
 			t.err = err
 		} else {
@@ -195,6 +219,68 @@ func (h *Hub) closeLocked() {
 		}
 		close(t.done)
 	}
+}
+
+// prorateFamilies splits per-family saved totals across entries INSIDE the
+// Saved shares already allotted: each entry's family breakdown sums to
+// exactly its Saved share (so a ticket's BatchStats is internally
+// consistent), and each family's cross-entry sum equals its window total.
+// Families fill entry capacity greedily in entry order; the fill pointer
+// only advances, so both invariants hold whenever the family totals sum to
+// the Saved total (which Plan.SavedByFamily guarantees).
+func prorateFamilies(famTotals [merge.NumFamilies]int, savedShares []int) [][merge.NumFamilies]int {
+	out := make([][merge.NumFamilies]int, len(savedShares))
+	remaining := append([]int(nil), savedShares...)
+	k := 0
+	for f, n := range famTotals {
+		for n > 0 && k < len(remaining) {
+			if remaining[k] == 0 {
+				k++
+				continue
+			}
+			take := n
+			if remaining[k] < take {
+				take = remaining[k]
+			}
+			out[k][f] += take
+			remaining[k] -= take
+			n -= take
+		}
+	}
+	return out
+}
+
+// prorate splits total across recipients proportionally to their weights,
+// handing the rounding remainder out one unit at a time in recipient order
+// so the shares always sum to total. Zero-weight recipients get nothing
+// unless every weight is zero, in which case the first recipient absorbs
+// the total (the degenerate case cannot arise for window entries, whose
+// weights sum to the combined batch size).
+func prorate(total int, weights []int) []int {
+	out := make([]int, len(weights))
+	if total == 0 || len(weights) == 0 {
+		return out
+	}
+	wsum := 0
+	for _, w := range weights {
+		wsum += w
+	}
+	if wsum == 0 {
+		out[0] = total
+		return out
+	}
+	given := 0
+	for i, w := range weights {
+		out[i] = total * w / wsum
+		given += out[i]
+	}
+	for i := 0; given < total; i = (i + 1) % len(weights) {
+		if weights[i] > 0 {
+			out[i]++
+			given++
+		}
+	}
+	return out
 }
 
 // Shared is the per-session front end of a Hub: read-only batches go to
@@ -241,12 +327,8 @@ func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
 	}
 	t.results, t.err = results, err
 	t.completeAt = done
-	t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
-	if err == nil {
-		s.box.mu.Lock()
-		s.box.stats.StmtsOut += int64(len(out))
-		s.box.mu.Unlock()
-	}
+	t.bs = batchStats(len(out), ss)
+	s.box.addExec(len(out), ss, err)
 	close(t.done)
 	return t
 }

@@ -30,12 +30,8 @@ func (s *Sync) Submit(stmts []driver.Stmt) *Ticket {
 		results, err = demux(results)
 	}
 	t.results, t.err = results, err
-	t.bs = BatchStats{Sent: len(out), Saved: ss.Saved, Groups: ss.Groups}
-	if err == nil {
-		s.box.mu.Lock()
-		s.box.stats.StmtsOut += int64(len(out))
-		s.box.mu.Unlock()
-	}
+	t.bs = batchStats(len(out), ss)
+	s.box.addExec(len(out), ss, err)
 	return t
 }
 

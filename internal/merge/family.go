@@ -1,0 +1,561 @@
+package merge
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// FamilyID names one of the registered merge families. Each family is an
+// analyzer (which statements qualify), a renderer (what the merged
+// statement looks like), and a demux rule (how merged rows route back to
+// the originals); the fingerprint/chunk/route machinery is shared.
+type FamilyID int
+
+const (
+	// FamilyEquality merges `col = value` point lookups into `col IN (...)`
+	// — the original 1+N family.
+	FamilyEquality FamilyID = iota
+	// FamilyAggregate merges per-key scalar aggregates (`SELECT COUNT(*)
+	// ... WHERE fk = ?` and friends) into one `SELECT fk, AGG(...) ...
+	// WHERE fk IN (...) GROUP BY fk`, with demux synthesizing the per-key
+	// scalar row — including the zero row for keys that matched nothing.
+	FamilyAggregate
+	// FamilyRange merges statements identical except for one value window
+	// (`col BETWEEN ? AND ?` / `col >= ? AND col < ?`) into a single
+	// OR-of-windows scan with range-membership demux.
+	FamilyRange
+	// NumFamilies sizes per-family counter arrays.
+	NumFamilies = iota
+)
+
+// String returns the family's report label.
+func (f FamilyID) String() string {
+	switch f {
+	case FamilyEquality:
+		return "eq"
+	case FamilyAggregate:
+		return "agg"
+	case FamilyRange:
+		return "range"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// window is one half-open-or-closed value interval of a range candidate.
+type window struct {
+	lo, hi             sqldb.Value
+	loStrict, hiStrict bool // strict bound: `>` / `<` instead of `>=` / `<=`
+}
+
+// key canonicalizes the window for chunk-level dedup of identical windows.
+func (w window) key() string {
+	b := func(s bool) string {
+		if s {
+			return "(" // strict: open end
+		}
+		return "[" // inclusive: closed end
+	}
+	return b(w.loStrict) + sqldb.Format(w.lo) + "\x1f" + sqldb.Format(w.hi) + b(w.hiStrict)
+}
+
+// contains reports whether v falls inside the window under the engine's
+// comparison semantics (numeric promotion; NULL and incomparable values
+// never match).
+func (w window) contains(v sqldb.Value) bool {
+	if v == nil {
+		return false
+	}
+	cl, err := sqldb.Compare(v, w.lo)
+	if err != nil || cl < 0 || (cl == 0 && w.loStrict) {
+		return false
+	}
+	ch, err := sqldb.Compare(v, w.hi)
+	if err != nil || ch > 0 || (ch == 0 && w.hiStrict) {
+		return false
+	}
+	return true
+}
+
+// candidate is one statement eligible for merging under some family.
+type candidate struct {
+	fam    FamilyID
+	sel    *sqlparse.SelectStmt
+	args   []sqldb.Value
+	others []sqlparse.Expr // residual WHERE conjuncts
+	fp     string
+
+	// Equality and aggregate families: the `col = value` match conjunct.
+	matchRef *sqlparse.ColRef
+	matchVal sqldb.Value
+
+	// Aggregate family: the projected aggregate calls in select-list order,
+	// with the output labels the engine would give the original statement.
+	aggs   []*sqlparse.FuncCall
+	labels []string
+
+	// Range family: the value window over matchRef.
+	win window
+}
+
+// groupKey canonicalizes the varying part of the candidate — the IN-list
+// member it contributes (equality, aggregate) or its window (range) — for
+// chunk-level dedup when upstream dedup is disabled.
+func (c *candidate) groupKey() string {
+	if c.fam == FamilyRange {
+		return c.win.key()
+	}
+	k, _ := scalarKey(c.matchVal)
+	return k
+}
+
+// splitConjuncts flattens a WHERE tree over top-level ANDs.
+func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.Binary); ok && b.Op == sqlparse.OpAnd {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// constOf resolves a Literal or Param to its value. Anything else — column
+// references, computed expressions — disqualifies the conjunct.
+func constOf(e sqlparse.Expr, args []sqldb.Value) (sqldb.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return sqldb.Normalize(x.Value), true
+	case *sqlparse.Param:
+		if x.Index < 0 || x.Index >= len(args) {
+			return nil, false
+		}
+		return sqldb.Normalize(args[x.Index]), true
+	default:
+		return nil, false
+	}
+}
+
+// scalarKey gives a map key for a match value; only these scalar types are
+// mergeable (NULL never equals anything, so it is excluded).
+func scalarKey(v sqldb.Value) (string, bool) {
+	switch x := v.(type) {
+	case int64:
+		return "i" + fmt.Sprint(x), true
+	case string:
+		return "s" + x, true
+	case float64:
+		return "f" + fmt.Sprint(x), true
+	case bool:
+		return "b" + fmt.Sprint(x), true
+	default:
+		return "", false
+	}
+}
+
+// rangeClass buckets a window bound for fingerprinting: the engine promotes
+// int/float freely in comparisons, so the numeric types share a class, but
+// mixing classes across a group could make the merged OR-eval fail where an
+// original would not.
+func rangeClass(v sqldb.Value) (string, bool) {
+	switch v.(type) {
+	case int64, float64:
+		return "n", true
+	case string:
+		return "s", true
+	default:
+		return "", false
+	}
+}
+
+// analyze classifies one statement against the enabled families, returning
+// a candidate when it is mergeable and nil otherwise.
+func (m *Merger) analyze(st driver.Stmt) *candidate {
+	parsed, err := sqlparse.Parse(st.SQL)
+	if err != nil {
+		return nil
+	}
+	sel, ok := parsed.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil
+	}
+	// Shared base shape for every family: single-table SELECT with a WHERE
+	// clause and none of the clauses that change meaning when rows from
+	// other keys join the working set.
+	if sel.Distinct || len(sel.Joins) > 0 || len(sel.GroupBy) > 0 ||
+		sel.Having != nil || sel.Limit >= 0 || sel.Offset > 0 || sel.Where == nil {
+		return nil
+	}
+
+	if projectionAggregates(sel) {
+		if !m.cfg.familyOn(FamilyAggregate) {
+			return nil
+		}
+		return analyzeAggregate(sel, st.Args)
+	}
+	// Projection: stars and bare column references only; anything computed
+	// changes meaning when rows from other keys join the set.
+	hasStar := false
+	for _, se := range sel.Cols {
+		if se.Star {
+			if se.StarTable != "" && !strings.EqualFold(se.StarTable, sel.From.Binding()) {
+				return nil
+			}
+			hasStar = true
+			continue
+		}
+		if _, ok := se.Expr.(*sqlparse.ColRef); !ok {
+			return nil
+		}
+	}
+	if c := analyzeEquality(sel, st.Args, hasStar); c != nil {
+		return c
+	}
+	if m.cfg.familyOn(FamilyRange) {
+		return analyzeRange(sel, st.Args, hasStar)
+	}
+	return nil
+}
+
+// projectionAggregates reports whether any select expression contains an
+// aggregate call (the aggregate-family gate; stars never do).
+func projectionAggregates(sel *sqlparse.SelectStmt) bool {
+	for _, se := range sel.Cols {
+		if se.Star {
+			continue
+		}
+		if exprHasAggregate(se.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlparse.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		return x.IsAggregate()
+	case *sqlparse.Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *sqlparse.Unary:
+		return exprHasAggregate(x.Expr)
+	default:
+		return false
+	}
+}
+
+// analyzeEquality matches the original family: a top-level `col = const`
+// conjunct whose column the projection carries.
+func analyzeEquality(sel *sqlparse.SelectStmt, args []sqldb.Value, hasStar bool) *candidate {
+	conjuncts := splitConjuncts(sel.Where, nil)
+	c := &candidate{fam: FamilyEquality, sel: sel, args: args}
+	for _, conj := range conjuncts {
+		if c.matchRef == nil {
+			if ref, val, ok := eqConst(conj, args, sel.From.Binding()); ok {
+				c.matchRef, c.matchVal = ref, val
+				continue
+			}
+		}
+		c.others = append(c.others, conj)
+	}
+	if c.matchRef == nil {
+		return nil
+	}
+	if _, ok := scalarKey(c.matchVal); !ok {
+		return nil
+	}
+	// Demux keys on the match column's value in the result rows, so the
+	// projection must carry it.
+	if !hasStar && !projectionHas(sel.Cols, c.matchRef.Name) {
+		return nil
+	}
+	return finishCandidate(c)
+}
+
+// analyzeAggregate matches per-key scalar aggregates: every select
+// expression is one aggregate call (COUNT/SUM/AVG/MIN/MAX over `*` or a
+// plain column), and the WHERE clause carries a `col = const` conjunct to
+// group by. The match column need not be projected — the merged statement
+// adds it as the leading GROUP BY key, and demux strips it again.
+func analyzeAggregate(sel *sqlparse.SelectStmt, args []sqldb.Value) *candidate {
+	// An aggregate statement yields exactly one row whatever the key, so
+	// ORDER BY is both pointless and a shape we refuse rather than reason
+	// about across groups.
+	if len(sel.OrderBy) > 0 {
+		return nil
+	}
+	c := &candidate{fam: FamilyAggregate, sel: sel, args: args}
+	for _, se := range sel.Cols {
+		if se.Star {
+			return nil
+		}
+		fc, ok := se.Expr.(*sqlparse.FuncCall)
+		if !ok || !fc.IsAggregate() {
+			return nil
+		}
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				return nil
+			}
+			ref, ok := fc.Args[0].(*sqlparse.ColRef)
+			if !ok {
+				return nil
+			}
+			if ref.Table != "" && !strings.EqualFold(ref.Table, sel.From.Binding()) {
+				return nil
+			}
+		}
+		c.aggs = append(c.aggs, fc)
+		c.labels = append(c.labels, aggregateLabel(se, fc))
+	}
+	if len(c.aggs) == 0 {
+		return nil
+	}
+	conjuncts := splitConjuncts(sel.Where, nil)
+	for _, conj := range conjuncts {
+		if c.matchRef == nil {
+			if ref, val, ok := eqConst(conj, args, sel.From.Binding()); ok {
+				c.matchRef, c.matchVal = ref, val
+				continue
+			}
+		}
+		c.others = append(c.others, conj)
+	}
+	if c.matchRef == nil {
+		return nil
+	}
+	if _, ok := scalarKey(c.matchVal); !ok {
+		return nil
+	}
+	return finishCandidate(c)
+}
+
+// aggregateLabel reproduces the engine's output label for one aggregate
+// select expression: the alias when present, else the function's own label
+// (`COUNT(*)` for the star form, the bare name otherwise). Demux builds the
+// per-key scalar row under these labels, so they must match what the
+// original statement's own execution would have produced.
+func aggregateLabel(se sqlparse.SelectExpr, fc *sqlparse.FuncCall) string {
+	if se.Alias != "" {
+		return se.Alias
+	}
+	if fc.Star {
+		return fc.Name + "(*)"
+	}
+	return fc.Name
+}
+
+// zeroValue is the value an aggregate reports over an empty row set: zero
+// for COUNT, NULL for everything else. Demux uses it to synthesize the row
+// for keys that matched nothing — exactly what the original statement's own
+// execution would have returned.
+func zeroValue(fc *sqlparse.FuncCall) sqldb.Value {
+	if fc.Name == "COUNT" {
+		return int64(0)
+	}
+	return nil
+}
+
+// analyzeRange matches statements whose only varying part is one value
+// window over a column: either `col BETWEEN const AND const`, or a pair of
+// one lower-bound and one upper-bound comparison conjunct on the same
+// column. The remaining conjuncts are residual, and the projection must
+// carry the range column for membership demux.
+func analyzeRange(sel *sqlparse.SelectStmt, args []sqldb.Value, hasStar bool) *candidate {
+	binding := sel.From.Binding()
+	conjuncts := splitConjuncts(sel.Where, nil)
+
+	type bound struct {
+		conj   int // conjunct index
+		val    sqldb.Value
+		strict bool
+	}
+	type colBounds struct {
+		ref       *sqlparse.ColRef
+		firstSeen int
+		lo, hi    []bound
+		between   []int // conjunct indexes of BETWEEN forms
+	}
+	byCol := map[string]*colBounds{}
+	var order []string
+
+	record := func(ref *sqlparse.ColRef, seen int) *colBounds {
+		key := strings.ToLower(ref.Name)
+		cb, ok := byCol[key]
+		if !ok {
+			cb = &colBounds{ref: ref, firstSeen: seen}
+			byCol[key] = cb
+			order = append(order, key)
+		}
+		return cb
+	}
+
+	for i, conj := range conjuncts {
+		switch x := conj.(type) {
+		case *sqlparse.BetweenExpr:
+			ref, ok := x.Expr.(*sqlparse.ColRef)
+			if !ok || (ref.Table != "" && !strings.EqualFold(ref.Table, binding)) {
+				continue
+			}
+			lo, ok1 := constOf(x.Lo, args)
+			hi, ok2 := constOf(x.Hi, args)
+			if !ok1 || !ok2 || lo == nil || hi == nil {
+				continue
+			}
+			cb := record(ref, i)
+			cb.lo = append(cb.lo, bound{conj: i, val: lo})
+			cb.hi = append(cb.hi, bound{conj: i, val: hi})
+			cb.between = append(cb.between, i)
+		case *sqlparse.Binary:
+			ref, val, op, ok := cmpConst(x, args, binding)
+			if !ok {
+				continue
+			}
+			cb := record(ref, i)
+			switch op {
+			case sqlparse.OpGe:
+				cb.lo = append(cb.lo, bound{conj: i, val: val})
+			case sqlparse.OpGt:
+				cb.lo = append(cb.lo, bound{conj: i, val: val, strict: true})
+			case sqlparse.OpLe:
+				cb.hi = append(cb.hi, bound{conj: i, val: val})
+			case sqlparse.OpLt:
+				cb.hi = append(cb.hi, bound{conj: i, val: val, strict: true})
+			}
+		}
+	}
+
+	// The window column is the first column carrying exactly one lower and
+	// one upper bound (a BETWEEN supplies both). Ambiguous columns — two
+	// lower bounds, say — are skipped rather than guessed at.
+	for _, key := range order {
+		cb := byCol[key]
+		if len(cb.lo) != 1 || len(cb.hi) != 1 {
+			continue
+		}
+		loClass, ok1 := rangeClass(cb.lo[0].val)
+		hiClass, ok2 := rangeClass(cb.hi[0].val)
+		if !ok1 || !ok2 || loClass != hiClass {
+			continue
+		}
+		if !hasStar && !projectionHas(sel.Cols, cb.ref.Name) {
+			continue
+		}
+		c := &candidate{
+			fam:      FamilyRange,
+			sel:      sel,
+			args:     args,
+			matchRef: cb.ref,
+			win: window{
+				lo: cb.lo[0].val, hi: cb.hi[0].val,
+				loStrict: cb.lo[0].strict, hiStrict: cb.hi[0].strict,
+			},
+		}
+		windowConjs := map[int]bool{cb.lo[0].conj: true, cb.hi[0].conj: true}
+		for i, conj := range conjuncts {
+			if !windowConjs[i] {
+				c.others = append(c.others, conj)
+			}
+		}
+		return finishCandidate(c)
+	}
+	return nil
+}
+
+// cmpConst matches one `col <op> const` (or mirrored, with the operator
+// flipped) ordering comparison over the FROM table.
+func cmpConst(b *sqlparse.Binary, args []sqldb.Value, binding string) (*sqlparse.ColRef, sqldb.Value, sqlparse.BinOp, bool) {
+	flip := map[sqlparse.BinOp]sqlparse.BinOp{
+		sqlparse.OpLt: sqlparse.OpGt, sqlparse.OpLe: sqlparse.OpGe,
+		sqlparse.OpGt: sqlparse.OpLt, sqlparse.OpGe: sqlparse.OpLe,
+	}
+	if _, ok := flip[b.Op]; !ok {
+		return nil, nil, 0, false
+	}
+	try := func(colSide, valSide sqlparse.Expr, op sqlparse.BinOp) (*sqlparse.ColRef, sqldb.Value, sqlparse.BinOp, bool) {
+		ref, ok := colSide.(*sqlparse.ColRef)
+		if !ok {
+			return nil, nil, 0, false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+			return nil, nil, 0, false
+		}
+		v, ok := constOf(valSide, args)
+		if !ok || v == nil {
+			return nil, nil, 0, false
+		}
+		return ref, v, op, true
+	}
+	if ref, v, op, ok := try(b.L, b.R, b.Op); ok {
+		return ref, v, op, true
+	}
+	return try(b.R, b.L, flip[b.Op])
+}
+
+// finishCandidate computes the fingerprint, rejecting candidates whose
+// shape the renderer cannot reproduce.
+func finishCandidate(c *candidate) *candidate {
+	fp, err := fingerprint(c)
+	if err != nil {
+		return nil
+	}
+	c.fp = fp
+	return c
+}
+
+// eqConst matches a `col = const` (or mirrored) conjunct whose column
+// belongs to the FROM table.
+func eqConst(e sqlparse.Expr, args []sqldb.Value, binding string) (*sqlparse.ColRef, sqldb.Value, bool) {
+	b, ok := e.(*sqlparse.Binary)
+	if !ok || b.Op != sqlparse.OpEq {
+		return nil, nil, false
+	}
+	try := func(colSide, valSide sqlparse.Expr) (*sqlparse.ColRef, sqldb.Value, bool) {
+		ref, ok := colSide.(*sqlparse.ColRef)
+		if !ok {
+			return nil, nil, false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
+			return nil, nil, false
+		}
+		v, ok := constOf(valSide, args)
+		if !ok || v == nil {
+			return nil, nil, false
+		}
+		return ref, v, true
+	}
+	if ref, v, ok := try(b.L, b.R); ok {
+		return ref, v, true
+	}
+	return try(b.R, b.L)
+}
+
+// projectionHas reports whether an explicit select list outputs the match
+// column itself under the label demux will look up. An alias that merely
+// *spells* the match column's name over some other column is rejected
+// outright: demux resolves the label positionally, so a shadowing alias
+// would partition rows by the wrong column's values.
+func projectionHas(cols []sqlparse.SelectExpr, name string) bool {
+	found := false
+	for _, se := range cols {
+		if se.Star {
+			continue
+		}
+		ref, ok := se.Expr.(*sqlparse.ColRef)
+		if !ok {
+			continue
+		}
+		if se.Alias != "" {
+			if strings.EqualFold(se.Alias, name) {
+				return false
+			}
+			continue
+		}
+		if strings.EqualFold(ref.Name, name) {
+			found = true
+		}
+	}
+	return found
+}

@@ -2,19 +2,32 @@
 // pass that runs between the query store's flush and the batch driver's
 // dispatch. The query store already collapses *identical* statements; this
 // subsystem goes further and coalesces statements that are identical except
-// for one equality literal — the classic ORM 1+N shape (`SELECT ... WHERE
-// owner_id = ?` issued once per rendered row) — into a single `WHERE col IN
-// (...)` statement. After execution the merged result set is demultiplexed
-// back into one ResultSet per original statement, keyed by the match
-// column, so callers and cached query ids observe exactly the results the
-// unmerged batch would have produced.
+// for one varying part, organized as a registry of three families:
+//
+//   - equality (FamilyEquality): the classic ORM 1+N shape — `SELECT ...
+//     WHERE owner_id = ?` issued once per rendered row — becomes a single
+//     `WHERE col IN (...)` statement;
+//   - aggregate (FamilyAggregate): the per-row scalar-aggregate fan-out —
+//     `SELECT COUNT(*) FROM t WHERE fk = ?` once per listed row — becomes
+//     one `SELECT fk, COUNT(*) FROM t WHERE fk IN (...) GROUP BY fk`, and
+//     demux synthesizes each original's one-row result (including the
+//     zero-count row for keys that matched nothing);
+//   - range (FamilyRange): statements identical except for one value
+//     window (`col BETWEEN ? AND ?` / `col >= ? AND col < ?`) become a
+//     single OR-of-windows statement — one table scan instead of N — with
+//     range-membership demux.
+//
+// After execution the merged result set is demultiplexed back into one
+// ResultSet per original statement, so callers and cached query ids observe
+// exactly the results the unmerged batch would have produced.
 //
 // The paper (conf_sigmod_CheungMS14, Sec. 6.7) identifies the accumulated
-// batch as an optimization surface; merging is the first optimization here
-// that makes batches *smaller* (fewer, wider statements) rather than just
-// fewer. Every per-statement cost — server dispatch, parse, per-query
-// execution overhead, result-set framing — is paid once per group instead
-// of once per statement.
+// batch as an optimization surface; merging makes batches *smaller* (fewer,
+// wider statements) rather than just fewer. Every per-statement cost —
+// server dispatch, parse, per-query execution overhead, result-set framing
+// — is paid once per group instead of once per statement, and the aggregate
+// and range families also cut row work (one GROUP BY probe / one scan
+// instead of N).
 //
 // Safety rules (checked per statement, conservatively):
 //
@@ -22,20 +35,21 @@
 //     act as barriers that close all open groups, so no read is ever moved
 //     across a write;
 //   - single-table SELECTs without DISTINCT, JOIN, GROUP BY, HAVING,
-//     aggregates, LIMIT, or OFFSET;
-//   - the WHERE clause must contain a top-level `col = <literal|param>`
-//     conjunct; the remaining conjuncts, the projection, and the ORDER BY
-//     must be identical across the group (compared with argument values
-//     resolved);
-//   - the match column must appear in the output (star projections
-//     qualify), because demultiplexing keys on its value;
-//   - merged IN lists are capped at Config.MaxInWidth values; wider groups
-//     split into chunks.
+//     LIMIT, or OFFSET; the equality and range families additionally
+//     reject computed projections, while the aggregate family requires
+//     every output column to be a plain aggregate call;
+//   - the varying part must resolve to literal or parameter values; the
+//     remaining conjuncts, the projection, and the ORDER BY must be
+//     identical across a group (compared with argument values resolved);
+//   - the match column must be recoverable from the merged result rows
+//     (projected for equality/range, added as the GROUP BY key for
+//     aggregates), because demultiplexing keys on its value;
+//   - merged IN lists and OR-of-window lists are capped at
+//     Config.MaxInWidth members; wider groups split into chunks.
 package merge
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/driver"
@@ -43,8 +57,9 @@ import (
 	"repro/internal/sqldb/sqlparse"
 )
 
-// DefaultMaxInWidth bounds the IN list of one merged statement, mirroring
-// the way production drivers cap host-variable counts per statement.
+// DefaultMaxInWidth bounds the IN list (or window list) of one merged
+// statement, mirroring the way production drivers cap host-variable counts
+// per statement.
 const DefaultMaxInWidth = 64
 
 // Config controls the optimizer. The zero value disables merging, so a
@@ -55,6 +70,12 @@ type Config struct {
 	// MaxInWidth caps values per merged IN list; <= 0 means
 	// DefaultMaxInWidth.
 	MaxInWidth int
+	// DisableAggregates switches off the aggregate family (on by default
+	// whenever Enabled is set) — an ablation knob isolating the equality
+	// baseline.
+	DisableAggregates bool
+	// DisableRanges switches off the range family, likewise.
+	DisableRanges bool
 }
 
 // width returns the effective IN-list cap.
@@ -65,6 +86,18 @@ func (c Config) width() int {
 	return c.MaxInWidth
 }
 
+// familyOn reports whether a family participates under this configuration.
+func (c Config) familyOn(f FamilyID) bool {
+	switch f {
+	case FamilyAggregate:
+		return !c.DisableAggregates
+	case FamilyRange:
+		return !c.DisableRanges
+	default:
+		return true
+	}
+}
+
 // Stats counts optimizer activity across the batches of one Merger.
 type Stats struct {
 	Batches     int64 // batches rewritten
@@ -73,6 +106,10 @@ type Stats struct {
 	Saved       int64 // statements eliminated (Merged - Groups)
 	Ineligible  int64 // read statements that failed a shape check
 	RowsDemuxed int64 // rows routed back to original statements
+	// SavedByFamily and GroupsByFamily break Saved and Groups down per
+	// merge family (indexed by FamilyID).
+	SavedByFamily  [NumFamilies]int64
+	GroupsByFamily [NumFamilies]int64
 }
 
 // Merger is the batch optimizer. Rewrites themselves serialize per
@@ -106,179 +143,12 @@ func (m *Merger) ResetStats() {
 	m.stats = Stats{}
 }
 
-// candidate is one statement eligible for merging.
-type candidate struct {
-	sel      *sqlparse.SelectStmt
-	args     []sqldb.Value
-	matchRef *sqlparse.ColRef // column of the `col = value` conjunct
-	matchVal sqldb.Value      // normalized match value
-	others   []sqlparse.Expr  // remaining WHERE conjuncts
-	fp       string
-}
-
-// splitConjuncts flattens a WHERE tree over top-level ANDs.
-func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
-	if b, ok := e.(*sqlparse.Binary); ok && b.Op == sqlparse.OpAnd {
-		out = splitConjuncts(b.L, out)
-		return splitConjuncts(b.R, out)
-	}
-	return append(out, e)
-}
-
-// constOf resolves a Literal or Param to its value. Anything else — column
-// references, computed expressions — disqualifies the conjunct.
-func constOf(e sqlparse.Expr, args []sqldb.Value) (sqldb.Value, bool) {
-	switch x := e.(type) {
-	case *sqlparse.Literal:
-		return sqldb.Normalize(x.Value), true
-	case *sqlparse.Param:
-		if x.Index < 0 || x.Index >= len(args) {
-			return nil, false
-		}
-		return sqldb.Normalize(args[x.Index]), true
-	default:
-		return nil, false
-	}
-}
-
-// scalarKey gives a map key for a match value; only these scalar types are
-// mergeable (NULL never equals anything, so it is excluded).
-func scalarKey(v sqldb.Value) (string, bool) {
-	switch x := v.(type) {
-	case int64:
-		return "i" + fmt.Sprint(x), true
-	case string:
-		return "s" + x, true
-	case float64:
-		return "f" + fmt.Sprint(x), true
-	case bool:
-		return "b" + fmt.Sprint(x), true
-	default:
-		return "", false
-	}
-}
-
-// analyze classifies one statement, returning a candidate when it is
-// mergeable and nil otherwise.
-func analyze(st driver.Stmt) *candidate {
-	parsed, err := sqlparse.Parse(st.SQL)
-	if err != nil {
-		return nil
-	}
-	sel, ok := parsed.(*sqlparse.SelectStmt)
-	if !ok {
-		return nil
-	}
-	if sel.Distinct || len(sel.Joins) > 0 || len(sel.GroupBy) > 0 ||
-		sel.Having != nil || sel.Limit >= 0 || sel.Offset > 0 || sel.Where == nil {
-		return nil
-	}
-	// Projection: stars and bare column references only; anything computed
-	// (aggregates especially) changes meaning when rows from other keys
-	// join the set.
-	hasStar := false
-	for _, se := range sel.Cols {
-		if se.Star {
-			if se.StarTable != "" && !strings.EqualFold(se.StarTable, sel.From.Binding()) {
-				return nil
-			}
-			hasStar = true
-			continue
-		}
-		if _, ok := se.Expr.(*sqlparse.ColRef); !ok {
-			return nil
-		}
-	}
-
-	conjuncts := splitConjuncts(sel.Where, nil)
-	c := &candidate{sel: sel, args: st.Args}
-	for _, conj := range conjuncts {
-		if c.matchRef == nil {
-			if ref, val, ok := eqConst(conj, st.Args, sel.From.Binding()); ok {
-				c.matchRef, c.matchVal = ref, val
-				continue
-			}
-		}
-		c.others = append(c.others, conj)
-	}
-	if c.matchRef == nil {
-		return nil
-	}
-	if _, ok := scalarKey(c.matchVal); !ok {
-		return nil
-	}
-	// Demux keys on the match column's value in the result rows, so the
-	// projection must carry it.
-	if !hasStar && !projectionHas(sel.Cols, c.matchRef.Name) {
-		return nil
-	}
-	fp, err := fingerprint(c)
-	if err != nil {
-		return nil
-	}
-	c.fp = fp
-	return c
-}
-
-// eqConst matches a `col = const` (or mirrored) conjunct whose column
-// belongs to the FROM table.
-func eqConst(e sqlparse.Expr, args []sqldb.Value, binding string) (*sqlparse.ColRef, sqldb.Value, bool) {
-	b, ok := e.(*sqlparse.Binary)
-	if !ok || b.Op != sqlparse.OpEq {
-		return nil, nil, false
-	}
-	try := func(colSide, valSide sqlparse.Expr) (*sqlparse.ColRef, sqldb.Value, bool) {
-		ref, ok := colSide.(*sqlparse.ColRef)
-		if !ok {
-			return nil, nil, false
-		}
-		if ref.Table != "" && !strings.EqualFold(ref.Table, binding) {
-			return nil, nil, false
-		}
-		v, ok := constOf(valSide, args)
-		if !ok || v == nil {
-			return nil, nil, false
-		}
-		return ref, v, true
-	}
-	if ref, v, ok := try(b.L, b.R); ok {
-		return ref, v, true
-	}
-	return try(b.R, b.L)
-}
-
-// projectionHas reports whether an explicit select list outputs the match
-// column itself under the label demux will look up. An alias that merely
-// *spells* the match column's name over some other column is rejected
-// outright: demux resolves the label positionally, so a shadowing alias
-// would partition rows by the wrong column's values.
-func projectionHas(cols []sqlparse.SelectExpr, name string) bool {
-	found := false
-	for _, se := range cols {
-		if se.Star {
-			continue
-		}
-		ref := se.Expr.(*sqlparse.ColRef) // analyze already checked the type
-		if se.Alias != "" {
-			if strings.EqualFold(se.Alias, name) {
-				return false
-			}
-			continue
-		}
-		if strings.EqualFold(ref.Name, name) {
-			found = true
-		}
-	}
-	return found
-}
-
 // route records where one original statement's result comes from in the
 // rewritten batch.
 type route struct {
-	stmtIdx int         // index into Plan.Stmts
-	merged  bool        // true when the result must be demultiplexed
-	key     sqldb.Value // match value (merged routes only)
-	col     string      // match column label (merged routes only)
+	stmtIdx int        // index into Plan.Stmts
+	merged  bool       // true when the result must be demultiplexed
+	cand    *candidate // this original's analysis (merged routes only)
 }
 
 // Plan is a rewritten batch plus the routing needed to reconstruct
@@ -290,21 +160,31 @@ type Plan struct {
 	Stmts  []driver.Stmt
 	routes []route
 	m      *Merger
+
+	groupsBy [NumFamilies]int
+	mergedBy [NumFamilies]int
 }
 
 // Saved reports how many statements the rewrite eliminated.
 func (p *Plan) Saved() int { return len(p.routes) - len(p.Stmts) }
 
-// Groups reports how many merged IN-list statements this plan emitted —
-// the per-batch delta behind the Merger's cumulative Groups counter.
+// Groups reports how many merged statements this plan emitted — the
+// per-batch delta behind the Merger's cumulative Groups counter.
 func (p *Plan) Groups() int {
-	seen := make(map[int]struct{})
-	for _, r := range p.routes {
-		if r.merged {
-			seen[r.stmtIdx] = struct{}{}
-		}
+	n := 0
+	for _, g := range p.groupsBy {
+		n += g
 	}
-	return len(seen)
+	return n
+}
+
+// SavedByFamily breaks Saved down per merge family (indexed by FamilyID).
+func (p *Plan) SavedByFamily() [NumFamilies]int {
+	var out [NumFamilies]int
+	for f := range out {
+		out[f] = p.mergedBy[f] - p.groupsBy[f]
+	}
+	return out
 }
 
 // group accumulates the members of one fingerprint while the batch is
@@ -312,6 +192,13 @@ func (p *Plan) Groups() int {
 type group struct {
 	members []int // original statement indexes, in order
 	cands   []*candidate
+}
+
+// chunkInfo partitions one group into width-capped merged statements.
+type chunkInfo struct {
+	reps  [][]*candidate // per chunk, distinct-valued members in order
+	byIdx map[int]int    // original statement index -> chunk ordinal
+	stmt  []int          // per chunk, rewritten-batch index (-1 until emitted)
 }
 
 // Rewrite analyzes a pending batch and coalesces mergeable groups. The
@@ -335,7 +222,7 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 			barrier++
 			continue
 		}
-		c := analyze(st)
+		c := m.analyze(st)
 		if c == nil {
 			m.stats.Ineligible++
 			continue
@@ -352,14 +239,9 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 		g.cands = append(g.cands, c)
 	}
 
-	// Partition each multi-member group into IN-width chunks of distinct
-	// values. Duplicate match values (possible with dedup disabled) share
-	// the chunk that already carries the value.
-	type chunkInfo struct {
-		values [][]sqldb.Value // per chunk, distinct values in member order
-		byIdx  map[int]int     // original statement index -> chunk ordinal
-		stmt   []int           // per chunk, rewritten-batch index (-1 until emitted)
-	}
+	// Partition each multi-member group into width-capped chunks of
+	// distinct varying parts. Duplicate values/windows (possible with dedup
+	// disabled) share the chunk that already carries them.
 	chunks := make(map[string]*chunkInfo)
 	width := m.cfg.width()
 	for _, fp := range order {
@@ -368,19 +250,19 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 			continue
 		}
 		ci := &chunkInfo{byIdx: make(map[int]int)}
-		seen := make(map[string]int) // value key -> chunk ordinal
+		seen := make(map[string]int) // varying-part key -> chunk ordinal
 		for k, idx := range g.members {
-			key, _ := scalarKey(g.cands[k].matchVal)
+			key := g.cands[k].groupKey()
 			if ord, dup := seen[key]; dup {
 				ci.byIdx[idx] = ord
 				continue
 			}
-			if len(ci.values) == 0 || len(ci.values[len(ci.values)-1]) >= width {
-				ci.values = append(ci.values, nil)
+			if len(ci.reps) == 0 || len(ci.reps[len(ci.reps)-1]) >= width {
+				ci.reps = append(ci.reps, nil)
 				ci.stmt = append(ci.stmt, -1)
 			}
-			ord := len(ci.values) - 1
-			ci.values[ord] = append(ci.values[ord], g.cands[k].matchVal)
+			ord := len(ci.reps) - 1
+			ci.reps[ord] = append(ci.reps[ord], g.cands[k])
 			seen[key] = ord
 			ci.byIdx[idx] = ord
 		}
@@ -404,7 +286,7 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 		}
 		ord := ci.byIdx[i]
 		if ci.stmt[ord] == -1 {
-			sql, args, err := renderMerged(c, ci.values[ord])
+			sql, args, err := renderMergedFn(c, ci.reps[ord])
 			if err != nil {
 				// Defensive fallback — candidate shapes are all
 				// renderer-supported, but never let a render bug change
@@ -416,54 +298,147 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 			}
 			ci.stmt[ord] = len(p.Stmts)
 			p.Stmts = append(p.Stmts, driver.Stmt{SQL: sql, Args: args})
+			p.groupsBy[c.fam]++
 			m.stats.Groups++
+			m.stats.GroupsByFamily[c.fam]++
 		}
-		p.routes[i] = route{
-			stmtIdx: ci.stmt[ord],
-			merged:  true,
-			key:     c.matchVal,
-			col:     c.matchRef.Name,
-		}
+		p.routes[i] = route{stmtIdx: ci.stmt[ord], merged: true, cand: c}
+		p.mergedBy[c.fam]++
 		m.stats.Merged++
 	}
 	m.stats.Saved += int64(p.Saved())
+	for f, s := range p.SavedByFamily() {
+		m.stats.SavedByFamily[f] += int64(s)
+	}
 	return p
 }
 
 // Demux routes the rewritten batch's results back to the original
 // statements: pass-through statements forward their ResultSet unchanged,
-// and each merged statement's rows are partitioned by the match column.
-// Originals whose key matched no row receive an empty ResultSet with the
-// merged statement's columns — exactly what their own execution would have
-// returned.
+// and each merged statement's rows are partitioned per family — by match
+// value (equality), by GROUP BY key with zero-row synthesis (aggregate),
+// or by window membership (range). Originals whose key matched no row
+// receive exactly what their own execution would have returned: an empty
+// ResultSet for equality/range, a one-row zero/NULL result for aggregates.
+//
+// The merged statement's scan work (ResultSet.RowsScanned) is pro-rated
+// across its routes — earlier routes absorb the remainder — so per-original
+// cost accounting stays comparable with unmerged execution.
 func (p *Plan) Demux(results []*sqldb.ResultSet) ([]*sqldb.ResultSet, error) {
 	if len(results) != len(p.Stmts) {
 		return nil, fmt.Errorf("merge: demux: %d results for %d statements", len(results), len(p.Stmts))
 	}
+	// Pro-rating denominators: how many originals share each merged
+	// statement, and how many of its shares have been handed out.
+	shares := make(map[int]int)
+	for _, r := range p.routes {
+		if r.merged {
+			shares[r.stmtIdx]++
+		}
+	}
+	handed := make(map[int]int)
+
 	out := make([]*sqldb.ResultSet, len(p.routes))
+	var demuxedRows int64
 	for i, r := range p.routes {
 		rs := results[r.stmtIdx]
 		if !r.merged {
 			out[i] = rs
 			continue
 		}
-		ci, ok := rs.ColIndex(r.col)
-		if !ok {
-			return nil, fmt.Errorf("merge: demux: merged result lacks match column %q", r.col)
+		var sub *sqldb.ResultSet
+		var err error
+		switch r.cand.fam {
+		case FamilyAggregate:
+			sub = demuxAggregate(rs, r.cand)
+		case FamilyRange:
+			sub, err = demuxRange(rs, r.cand)
+		default:
+			sub, err = demuxEquality(rs, r.cand)
 		}
-		sub := &sqldb.ResultSet{Cols: rs.Cols}
-		for _, row := range rs.Rows {
-			if sqldb.Equal(sqldb.Normalize(row[ci]), r.key) {
-				sub.Rows = append(sub.Rows, row)
-			}
+		if err != nil {
+			return nil, err
 		}
-		sub.RowsScanned = len(sub.Rows)
-		if p.m != nil {
-			p.m.mu.Lock()
-			p.m.stats.RowsDemuxed += int64(len(sub.Rows))
-			p.m.mu.Unlock()
-		}
+		n, k := shares[r.stmtIdx], handed[r.stmtIdx]
+		sub.RowsScanned = scanShare(rs.RowsScanned, n, k)
+		handed[r.stmtIdx]++
+		demuxedRows += int64(len(sub.Rows))
 		out[i] = sub
 	}
+	if p.m != nil {
+		p.m.mu.Lock()
+		p.m.stats.RowsDemuxed += demuxedRows
+		p.m.mu.Unlock()
+	}
 	return out, nil
+}
+
+// scanShare splits a merged statement's scan count across its n routes:
+// share k (0-based) gets the floor, with the remainder absorbed one row at
+// a time by the earliest routes, so the shares always sum to scanned.
+func scanShare(scanned, n, k int) int {
+	if n <= 0 {
+		return scanned
+	}
+	share := scanned / n
+	if k < scanned%n {
+		share++
+	}
+	return share
+}
+
+// demuxEquality partitions merged rows by the match column's value.
+func demuxEquality(rs *sqldb.ResultSet, c *candidate) (*sqldb.ResultSet, error) {
+	ci, ok := rs.ColIndex(c.matchRef.Name)
+	if !ok {
+		return nil, fmt.Errorf("merge: demux: merged result lacks match column %q", c.matchRef.Name)
+	}
+	sub := &sqldb.ResultSet{Cols: rs.Cols}
+	for _, row := range rs.Rows {
+		if sqldb.Equal(sqldb.Normalize(row[ci]), c.matchVal) {
+			sub.Rows = append(sub.Rows, row)
+		}
+	}
+	return sub, nil
+}
+
+// demuxAggregate reconstructs the one-row scalar result of an original
+// aggregate statement from the merged GROUP BY result. The merged
+// projection is positional — key first, then the aggregates in the
+// original select-list order — and the output carries the original
+// statement's own labels. A key with no group row gets the empty-set
+// aggregate values: zero for COUNT, NULL otherwise.
+func demuxAggregate(rs *sqldb.ResultSet, c *candidate) *sqldb.ResultSet {
+	sub := &sqldb.ResultSet{Cols: c.labels}
+	for _, row := range rs.Rows {
+		if !sqldb.Equal(sqldb.Normalize(row[0]), c.matchVal) {
+			continue
+		}
+		vals := make([]sqldb.Value, len(c.aggs))
+		copy(vals, row[1:1+len(c.aggs)])
+		sub.Rows = append(sub.Rows, vals)
+		return sub
+	}
+	vals := make([]sqldb.Value, len(c.aggs))
+	for i, fc := range c.aggs {
+		vals[i] = zeroValue(fc)
+	}
+	sub.Rows = append(sub.Rows, vals)
+	return sub
+}
+
+// demuxRange partitions merged rows by membership in the original's value
+// window.
+func demuxRange(rs *sqldb.ResultSet, c *candidate) (*sqldb.ResultSet, error) {
+	ci, ok := rs.ColIndex(c.matchRef.Name)
+	if !ok {
+		return nil, fmt.Errorf("merge: demux: merged result lacks range column %q", c.matchRef.Name)
+	}
+	sub := &sqldb.ResultSet{Cols: rs.Cols}
+	for _, row := range rs.Rows {
+		if c.win.contains(sqldb.Normalize(row[ci])) {
+			sub.Rows = append(sub.Rows, row)
+		}
+	}
+	return sub, nil
 }

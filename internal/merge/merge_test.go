@@ -146,8 +146,12 @@ func TestResidualValueMismatchSplitsGroups(t *testing.T) {
 
 func TestIneligibleShapesPassThrough(t *testing.T) {
 	shapes := []driver.Stmt{
-		{SQL: "SELECT COUNT(*) AS n FROM kv WHERE id = ?", Args: []sqldb.Value{int64(1)}},
-		{SQL: "SELECT COUNT(*) AS n FROM kv WHERE id = ?", Args: []sqldb.Value{int64(2)}},
+		// Aggregates over computed expressions stay out of the aggregate
+		// family; so do aggregate statements with an ORDER BY.
+		{SQL: "SELECT SUM(id + 1) FROM kv WHERE grp = ?", Args: []sqldb.Value{int64(1)}},
+		{SQL: "SELECT SUM(id + 1) FROM kv WHERE grp = ?", Args: []sqldb.Value{int64(2)}},
+		{SQL: "SELECT COUNT(*) AS n FROM kv WHERE id = ? ORDER BY n", Args: []sqldb.Value{int64(1)}},
+		{SQL: "SELECT COUNT(*) AS n FROM kv WHERE id = ? ORDER BY n", Args: []sqldb.Value{int64(2)}},
 		{SQL: "SELECT id FROM kv WHERE id = ? LIMIT 1", Args: []sqldb.Value{int64(1)}},
 		{SQL: "SELECT id FROM kv WHERE id = ? LIMIT 1", Args: []sqldb.Value{int64(2)}},
 		{SQL: "SELECT v FROM kv WHERE id = ?", Args: []sqldb.Value{int64(1)}}, // match col not projected

@@ -1,232 +1,210 @@
 package merge
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/sqlparse"
 )
 
-// renderer turns sqlparse expression trees back into SQL text. It runs in
-// one of two modes:
+// The merge renderers are thin modes over sqlparse.Renderer:
 //
-//   - emit mode (resolve == false): every Literal and Param renders as a `?`
-//     placeholder and its value is appended to args, producing an executable
-//     statement whose argument list is rebuilt in render order. Emitting all
-//     values as parameters sidesteps literal round-tripping (string quoting,
+//   - emit mode: every Literal and Param renders as a `?` placeholder and
+//     its value is appended to args, producing an executable statement
+//     whose argument list is rebuilt in render order. Emitting all values
+//     as parameters sidesteps literal round-tripping (string quoting,
 //     float formats) entirely.
-//   - fingerprint mode (resolve == true): Literals and Params render as
-//     their formatted values, so two statements that differ only in SQL
-//     spelling (`id = 3` vs `id = ?` with arg 3) fingerprint identically.
-//     Fingerprint output is never parsed, only compared.
-type renderer struct {
-	sb      strings.Builder
-	resolve bool
-	inArgs  []sqldb.Value // original statement args (Param lookup)
-	outArgs []sqldb.Value // rebuilt args (emit mode)
-	err     error
+//   - fingerprint mode: Literals and Params render as their formatted
+//     values, so two statements that differ only in SQL spelling (`id = 3`
+//     vs `id = ?` with arg 3) fingerprint identically. Fingerprint output
+//     is never parsed, only compared.
+
+// emitter builds executable SQL, rebuilding the argument list.
+type emitter struct {
+	sqlparse.Renderer
+	outArgs []sqldb.Value
 }
 
-func (r *renderer) fail(format string, a ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf("merge: render: "+format, a...)
+func newEmitter(inArgs []sqldb.Value) *emitter {
+	e := &emitter{}
+	e.Value = func(r *sqlparse.Renderer, v sqldb.Value) {
+		r.WriteString("?")
+		e.outArgs = append(e.outArgs, v)
 	}
-}
-
-func (r *renderer) str(s string) { r.sb.WriteString(s) }
-
-func (r *renderer) value(v sqldb.Value) {
-	if r.resolve {
-		r.str(sqldb.Format(sqldb.Normalize(v)))
-		return
-	}
-	r.str("?")
-	r.outArgs = append(r.outArgs, v)
-}
-
-func (r *renderer) expr(e sqlparse.Expr) {
-	switch x := e.(type) {
-	case *sqlparse.Literal:
-		r.value(x.Value)
-	case *sqlparse.Param:
-		if x.Index < 0 || x.Index >= len(r.inArgs) {
-			r.fail("param %d out of range (%d args)", x.Index, len(r.inArgs))
+	e.Param = func(r *sqlparse.Renderer, idx int) {
+		if idx < 0 || idx >= len(inArgs) {
+			r.Fail("param %d out of range (%d args)", idx, len(inArgs))
 			return
 		}
-		r.value(r.inArgs[x.Index])
-	case *sqlparse.ColRef:
-		r.str(x.String())
-	case *sqlparse.Binary:
-		r.str("(")
-		r.expr(x.L)
-		r.str(" " + x.Op.String() + " ")
-		r.expr(x.R)
-		r.str(")")
-	case *sqlparse.Unary:
-		if x.Neg {
-			r.str("(-")
-		} else {
-			r.str("(NOT ")
+		e.Value(r, inArgs[idx])
+	}
+	return e
+}
+
+// value renders one value not present in the expression tree (IN-list
+// members, window bounds) through the emit hook.
+func (e *emitter) value(v sqldb.Value) { e.Value(&e.Renderer, v) }
+
+// newFingerprinter canonicalizes: constants resolve to formatted values.
+func newFingerprinter(inArgs []sqldb.Value) *sqlparse.Renderer {
+	r := &sqlparse.Renderer{}
+	r.Param = func(r *sqlparse.Renderer, idx int) {
+		if idx < 0 || idx >= len(inArgs) {
+			r.Fail("param %d out of range (%d args)", idx, len(inArgs))
+			return
 		}
-		r.expr(x.Expr)
-		r.str(")")
-	case *sqlparse.FuncCall:
-		r.str(x.Name + "(")
-		if x.Star {
-			r.str("*")
+		r.WriteString(sqldb.Format(sqldb.Normalize(inArgs[idx])))
+	}
+	r.Value = func(r *sqlparse.Renderer, v sqldb.Value) {
+		r.WriteString(sqldb.Format(sqldb.Normalize(v)))
+	}
+	return r
+}
+
+// renderMergedFn is the merged-statement renderer, indirected so tests can
+// force the defensive pass-through fallback in Rewrite.
+var renderMergedFn = renderMerged
+
+// renderMerged emits the merged statement for one group chunk. members are
+// the chunk's candidates in first-occurrence order (deduplicated); c is the
+// exemplar whose projection and residual conjuncts every member shares.
+// The prologue (projection, FROM), the residual conjuncts, and the
+// trailing clause are shared emit paths; only the projection head and the
+// match predicate vary per family:
+//
+//   - equality:  shared cols ... WHERE col IN (?, ...) [ORDER BY]
+//   - aggregate: key col + aggregate calls positionally (labels are
+//     irrelevant — demux reads by position and re-labels with the
+//     original's own output labels) ... WHERE col IN (?, ...) GROUP BY col
+//   - range:     shared cols ... WHERE (OR of explicit bound comparisons)
+//     [ORDER BY]
+func renderMerged(c *candidate, members []*candidate) (string, []sqldb.Value, error) {
+	e := newEmitter(c.args)
+	e.WriteString("SELECT ")
+	if c.fam == FamilyAggregate {
+		e.WriteString(c.matchRef.String())
+		for _, fc := range c.aggs {
+			e.WriteString(", ")
+			e.Expr(fc)
 		}
-		for i, a := range x.Args {
+	} else {
+		for i, se := range c.sel.Cols {
 			if i > 0 {
-				r.str(", ")
+				e.WriteString(", ")
 			}
-			r.expr(a)
-		}
-		r.str(")")
-	case *sqlparse.InList:
-		r.expr(x.Expr)
-		if x.Not {
-			r.str(" NOT")
-		}
-		r.str(" IN (")
-		for i, a := range x.List {
-			if i > 0 {
-				r.str(", ")
-			}
-			r.expr(a)
-		}
-		r.str(")")
-	case *sqlparse.IsNullExpr:
-		r.expr(x.Expr)
-		if x.Not {
-			r.str(" IS NOT NULL")
-		} else {
-			r.str(" IS NULL")
-		}
-	case *sqlparse.LikeExpr:
-		r.expr(x.Expr)
-		if x.Not {
-			r.str(" NOT")
-		}
-		r.str(" LIKE ")
-		r.expr(x.Pattern)
-	case *sqlparse.BetweenExpr:
-		r.expr(x.Expr)
-		r.str(" BETWEEN ")
-		r.expr(x.Lo)
-		r.str(" AND ")
-		r.expr(x.Hi)
-	default:
-		r.fail("unsupported expression %T", e)
-	}
-}
-
-func (r *renderer) selectExpr(se sqlparse.SelectExpr) {
-	switch {
-	case se.Star && se.StarTable == "":
-		r.str("*")
-	case se.Star:
-		r.str(se.StarTable + ".*")
-	default:
-		r.expr(se.Expr)
-		if se.Alias != "" {
-			r.str(" AS " + se.Alias)
+			e.SelectExpr(se)
 		}
 	}
-}
-
-func (r *renderer) tableRef(t sqlparse.TableRef) {
-	r.str(t.Name)
-	if t.Alias != "" {
-		r.str(" AS " + t.Alias)
+	e.WriteString(" FROM ")
+	e.TableRef(c.sel.From)
+	e.WriteString(" WHERE ")
+	if c.fam == FamilyRange {
+		e.windowList(c.matchRef.String(), members)
+	} else {
+		e.inList(c.matchRef.String(), members)
 	}
-}
-
-func (r *renderer) orderBy(items []sqlparse.OrderItem) {
-	if len(items) == 0 {
-		return
-	}
-	r.str(" ORDER BY ")
-	for i, ob := range items {
-		if i > 0 {
-			r.str(", ")
-		}
-		r.expr(ob.Expr)
-		if ob.Desc {
-			r.str(" DESC")
-		}
-	}
-}
-
-// renderMerged emits the merged statement for one group chunk: the shared
-// projection, table, and residual conjuncts of the exemplar statement, with
-// the match predicate replaced by `col IN (?, ...)` over the chunk's values.
-// Every value renders as a parameter; the rebuilt argument list is returned
-// alongside the SQL.
-func renderMerged(c *candidate, values []sqldb.Value) (string, []sqldb.Value, error) {
-	r := &renderer{inArgs: c.args}
-	r.str("SELECT ")
-	for i, se := range c.sel.Cols {
-		if i > 0 {
-			r.str(", ")
-		}
-		r.selectExpr(se)
-	}
-	r.str(" FROM ")
-	r.tableRef(c.sel.From)
-	r.str(" WHERE ")
-	r.str(c.matchRef.String())
-	r.str(" IN (")
-	for i, v := range values {
-		if i > 0 {
-			r.str(", ")
-		}
-		r.value(v)
-	}
-	r.str(")")
 	for _, other := range c.others {
-		r.str(" AND ")
-		r.expr(other)
+		e.WriteString(" AND ")
+		e.Expr(other)
 	}
-	r.orderBy(c.sel.OrderBy)
-	if r.err != nil {
-		return "", nil, r.err
+	if c.fam == FamilyAggregate {
+		e.GroupBy([]sqlparse.ColRef{*c.matchRef})
+	} else {
+		e.OrderBy(c.sel.OrderBy)
 	}
-	return r.sb.String(), r.outArgs, nil
+	sql, err := e.SQL()
+	if err != nil {
+		return "", nil, err
+	}
+	return sql, e.outArgs, nil
 }
 
-// fingerprint canonicalizes everything about a candidate except the matched
-// value: table, projection, residual predicates (with argument values
-// resolved), and ORDER BY. Statements with equal fingerprints differ only in
-// the one equality literal and are safe to coalesce.
+// inList emits `col IN (?, ...)` over the members' match values.
+func (e *emitter) inList(col string, members []*candidate) {
+	e.WriteString(col)
+	e.WriteString(" IN (")
+	for i, m := range members {
+		if i > 0 {
+			e.WriteString(", ")
+		}
+		e.value(m.matchVal)
+	}
+	e.WriteString(")")
+}
+
+// windowList emits a parenthesized OR of explicit bound comparisons over
+// the members' windows.
+func (e *emitter) windowList(col string, members []*candidate) {
+	e.WriteString("(")
+	for i, m := range members {
+		if i > 0 {
+			e.WriteString(" OR ")
+		}
+		e.WriteString("(" + col)
+		if m.win.loStrict {
+			e.WriteString(" > ")
+		} else {
+			e.WriteString(" >= ")
+		}
+		e.value(m.win.lo)
+		e.WriteString(" AND " + col)
+		if m.win.hiStrict {
+			e.WriteString(" < ")
+		} else {
+			e.WriteString(" <= ")
+		}
+		e.value(m.win.hi)
+		e.WriteString(")")
+	}
+	e.WriteString(")")
+}
+
+// fingerprint canonicalizes everything about a candidate except its varying
+// part — the matched value (equality, aggregate) or the window bounds
+// (range): family, table, projection, residual predicates (with argument
+// values resolved), and ORDER BY. Statements with equal fingerprints differ
+// only in that one varying part and are safe to coalesce.
 func fingerprint(c *candidate) (string, error) {
-	r := &renderer{resolve: true, inArgs: c.args}
-	r.str(strings.ToLower(c.sel.From.Name))
-	r.str("\x1f")
-	r.str(strings.ToLower(c.sel.From.Binding()))
-	r.str("\x1f")
+	r := newFingerprinter(c.args)
+	r.WriteString(c.fam.String())
+	r.WriteString("\x1f")
+	r.WriteString(strings.ToLower(c.sel.From.Name))
+	r.WriteString("\x1f")
+	r.WriteString(strings.ToLower(c.sel.From.Binding()))
+	r.WriteString("\x1f")
 	for _, se := range c.sel.Cols {
-		r.selectExpr(se)
-		r.str(",")
+		r.SelectExpr(se)
+		r.WriteString(",")
 	}
-	r.str("\x1f")
-	r.str(strings.ToLower(c.matchRef.String()))
-	r.str("\x1f")
-	// The match value's type is part of the shape: the engine's index
-	// lookup is type-strict while general comparison promotes int/float,
-	// so values of different types must never share an IN list — merging
-	// them could hand a statement rows its own execution would not return.
-	key, _ := scalarKey(c.matchVal)
-	r.str(key[:1])
-	r.str("\x1f")
+	r.WriteString("\x1f")
+	r.WriteString(strings.ToLower(c.matchRef.String()))
+	r.WriteString("\x1f")
+	switch c.fam {
+	case FamilyRange:
+		// Bound class is part of the shape: all of a group's windows must
+		// compare against the column the same way, so a class mismatch
+		// cannot make the merged OR-eval fail where an original would not.
+		cls, _ := rangeClass(c.win.lo)
+		r.WriteString(cls)
+	default:
+		// The match value's type is part of the shape: the engine's index
+		// lookup is type-strict while general comparison promotes
+		// int/float, so values of different types must never share an IN
+		// list — merging them could hand a statement rows its own
+		// execution would not return.
+		key, _ := scalarKey(c.matchVal)
+		r.WriteString(key[:1])
+	}
+	r.WriteString("\x1f")
 	for _, other := range c.others {
-		r.expr(other)
-		r.str("\x1f")
+		r.Expr(other)
+		r.WriteString("\x1f")
 	}
-	r.str("\x1f")
-	r.orderBy(c.sel.OrderBy)
-	if r.err != nil {
-		return "", r.err
+	r.WriteString("\x1f")
+	r.OrderBy(c.sel.OrderBy)
+	sql, err := r.SQL()
+	if err != nil {
+		return "", err
 	}
-	return r.sb.String(), nil
+	return sql, nil
 }

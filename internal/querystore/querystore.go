@@ -72,9 +72,14 @@ type Stats struct {
 	Batches       int64 // batches flushed
 	MaxBatch      int   // largest batch size flushed (before merging)
 	ForcedByWrite int64 // flushes triggered by a write registration
-	MergeGroups   int64 // IN-list statements emitted by the merge optimizer
+	MergeGroups   int64 // merged statements emitted by the merge optimizer
 	MergeSaved    int64 // statements eliminated by the merge optimizer
 	SharedHits    int64 // statements answered by another session's window entry
+	// MergeSavedByFamily breaks MergeSaved down per merge family (indexed
+	// by merge.FamilyID: equality, aggregate, range). Under shared
+	// dispatch these are this store's pro-rated shares of the window-level
+	// savings.
+	MergeSavedByFamily [merge.NumFamilies]int64
 }
 
 // pending is one statement waiting in the current batch.
@@ -348,6 +353,9 @@ func (s *Store) collect() error {
 		s.stats.MergeSaved += int64(bs.Saved)
 		s.stats.MergeGroups += int64(bs.Groups)
 		s.stats.SharedHits += int64(bs.SharedHits)
+		for f, n := range bs.SavedByFamily {
+			s.stats.MergeSavedByFamily[f] += int64(n)
+		}
 	}
 	s.inflight = s.inflight[:0]
 	return first

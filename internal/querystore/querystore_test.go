@@ -643,3 +643,143 @@ func TestSharedStoresCoalesceViaHub(t *testing.T) {
 			s1.Stats().SharedHits, s2.Stats().SharedHits)
 	}
 }
+
+// sharedRig builds a server and a hub (with the given hub stages built
+// from cfgMerge) plus a store factory for shared-dispatch stores.
+func sharedRig(t *testing.T, cfgMerge merge.Config) (*driver.Server, *dispatch.Hub, func() *Store) {
+	t.Helper()
+	clock := netsim.NewVirtualClock()
+	db := engine.New()
+	srv := driver.NewServer(db, clock, driver.DefaultCostModel())
+	boot := srv.Connect(netsim.NewLink(clock, 0))
+	for _, sql := range []string{
+		"CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT)",
+		"INSERT INTO items (id, name, qty) VALUES (1, 'apple', 5), (2, 'pear', 7), (3, 'fig', 2)",
+	} {
+		if _, err := boot.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stages []dispatch.Stage
+	if cfgMerge.Enabled {
+		stages = append(stages, dispatch.MergeStage(merge.New(cfgMerge)))
+	}
+	hub := dispatch.NewHub(srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), 0)), 0, stages...)
+	mk := func() *Store {
+		return New(srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), 0)),
+			Config{Dispatch: dispatch.KindShared, Hub: hub, Merge: cfgMerge})
+	}
+	return srv, hub, mk
+}
+
+// TestSharedStoreMergeStatsNonzero pins the end of the lost-attribution
+// bug: when the shared hub's merge stage coalesces a cross-session family,
+// each contributing store's MergeSaved/MergeGroups must be nonzero and the
+// per-store totals must sum to the hub's window-level savings.
+func TestSharedStoreMergeStatsNonzero(t *testing.T) {
+	srv, hub, mk := sharedRig(t, merge.Config{Enabled: true})
+	s1, s2 := mk(), mk()
+
+	// Each store contributes two members of the same point-lookup family:
+	// the combined window merges 4 statements into 1.
+	ids1 := []QueryID{}
+	ids2 := []QueryID{}
+	for _, id := range []int64{1, 2} {
+		qid, err := s1.Register("SELECT id, name FROM items WHERE id = ?", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids1 = append(ids1, qid)
+	}
+	for _, id := range []int64{3, 2} {
+		qid, err := s2.Register("SELECT id, name FROM items WHERE id = ?", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids2 = append(ids2, qid)
+	}
+	s1.FlushAsync()
+	s2.FlushAsync()
+	before := srv.Stats().Queries
+	for i, want := range []string{"apple", "pear"} {
+		rs, err := s1.ResultSet(ids1[i])
+		if err != nil || rs.Rows[0][1] != want {
+			t.Fatalf("s1 id %d: %v %v", i, rs, err)
+		}
+	}
+	for i, want := range []string{"fig", "pear"} {
+		rs, err := s2.ResultSet(ids2[i])
+		if err != nil || rs.Rows[0][1] != want {
+			t.Fatalf("s2 id %d: %v %v", i, rs, err)
+		}
+	}
+	if got := srv.Stats().Queries - before; got != 1 {
+		t.Fatalf("server executed %d statements, want 1 merged", got)
+	}
+
+	hs := hub.Stats()
+	if hs.MergeSaved == 0 || hs.MergeGroups == 0 {
+		t.Fatalf("hub merge stats zero: %+v", hs)
+	}
+	st1, st2 := s1.Stats(), s2.Stats()
+	if st1.MergeSaved == 0 && st2.MergeSaved == 0 {
+		t.Fatal("both stores report MergeSaved = 0 under shared dispatch")
+	}
+	if st1.MergeSaved+st2.MergeSaved != hs.MergeSaved {
+		t.Fatalf("store shares %d+%d do not sum to hub %d",
+			st1.MergeSaved, st2.MergeSaved, hs.MergeSaved)
+	}
+	if st1.MergeGroups+st2.MergeGroups != hs.MergeGroups {
+		t.Fatalf("store group shares %d+%d do not sum to hub %d",
+			st1.MergeGroups, st2.MergeGroups, hs.MergeGroups)
+	}
+	famSum := int64(0)
+	for _, st := range []Stats{st1, st2} {
+		for _, n := range st.MergeSavedByFamily {
+			famSum += n
+		}
+	}
+	if famSum != hs.MergeSaved {
+		t.Fatalf("per-family shares sum to %d, hub saved %d", famSum, hs.MergeSaved)
+	}
+}
+
+// TestSharedWindowErrorReachesEverySessionIDs pins deferred-error delivery
+// through the shared window: when the combined window fails, every id of
+// every contributing store must report the execution error at force time
+// (not "unknown query id"), including ids registered by the session that
+// did not submit the failing statement.
+func TestSharedWindowErrorReachesEverySessionIDs(t *testing.T) {
+	_, hub, mk := sharedRig(t, merge.Config{})
+	s1, s2 := mk(), mk()
+
+	good1, err := s1.Register("SELECT name FROM items WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good2, err := s1.Register("SELECT name FROM items WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s2.Register("SELECT name FROM no_such_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.FlushAsync()
+	s2.FlushAsync()
+	hub.CloseWindow()
+
+	for _, id := range []QueryID{good1, good2} {
+		if _, err := s1.ResultSet(id); err == nil {
+			t.Fatalf("s1 id %d: window error not delivered", id)
+		} else if strings.Contains(err.Error(), "unknown query id") {
+			t.Fatalf("s1 id %d: got %q, want the execution error", id, err)
+		}
+	}
+	if _, err := s2.ResultSet(bad); err == nil {
+		t.Fatal("s2: window error not delivered")
+	}
+	if hub.Stats().Errors != 1 {
+		t.Fatalf("hub Errors = %d, want 1", hub.Stats().Errors)
+	}
+}

@@ -1,0 +1,101 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// renderSelect renders a full SELECT through the Renderer's fragment
+// methods, the way the merge optimizer assembles merged statements.
+func renderSelect(t *testing.T, r *Renderer, st *SelectStmt) string {
+	t.Helper()
+	r.WriteString("SELECT ")
+	for i, se := range st.Cols {
+		if i > 0 {
+			r.WriteString(", ")
+		}
+		r.SelectExpr(se)
+	}
+	r.WriteString(" FROM ")
+	r.TableRef(st.From)
+	if st.Where != nil {
+		r.WriteString(" WHERE ")
+		r.Expr(st.Where)
+	}
+	r.GroupBy(st.GroupBy)
+	r.OrderBy(st.OrderBy)
+	sql, err := r.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sql
+}
+
+// TestRenderRoundTrip: parse → render → parse must succeed and re-render
+// to the same text, for the clause shapes the merge families emit —
+// aggregate projections, GROUP BY, IN lists, window comparisons, LIKE,
+// BETWEEN, IS NULL, and ORDER BY.
+func TestRenderRoundTrip(t *testing.T) {
+	cases := []string{
+		"SELECT fk, COUNT(*), SUM(val) FROM t WHERE fk IN (1, 2, 3) GROUP BY fk",
+		"SELECT id, v FROM kv WHERE ((id >= 1 AND id < 5) OR (id >= 10 AND id < 20))",
+		"SELECT COUNT(*) AS n FROM t WHERE (a = 1 AND b LIKE 'x%')",
+		"SELECT a.id FROM t AS a WHERE a.v BETWEEN 1 AND 9 ORDER BY a.id DESC",
+		"SELECT id FROM t WHERE v IS NOT NULL ORDER BY id, v DESC",
+		"SELECT MIN(v), MAX(v), AVG(v) FROM t WHERE k = 'key' GROUP BY k",
+	}
+	for _, sql := range cases {
+		st1, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		out1 := renderSelect(t, &Renderer{}, st1.(*SelectStmt))
+		st2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("re-parse of rendered %q (from %q): %v", out1, sql, err)
+		}
+		out2 := renderSelect(t, &Renderer{}, st2.(*SelectStmt))
+		if out1 != out2 {
+			t.Fatalf("render not stable:\nfirst:  %q\nsecond: %q", out1, out2)
+		}
+	}
+}
+
+// TestRenderValueHooks: the Value/Param hooks see every constant, letting
+// callers emit placeholders and rebuild argument lists.
+func TestRenderValueHooks(t *testing.T) {
+	st := MustParse("SELECT id FROM t WHERE a = 5 AND b = ?").(*SelectStmt)
+	var args []sqldb.Value
+	inArgs := []sqldb.Value{"bee"}
+	r := &Renderer{}
+	r.Value = func(r *Renderer, v sqldb.Value) {
+		r.WriteString("?")
+		args = append(args, v)
+	}
+	r.Param = func(r *Renderer, idx int) {
+		r.WriteString("?")
+		args = append(args, inArgs[idx])
+	}
+	r.Expr(st.Where)
+	sql, err := r.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "((a = ?) AND (b = ?))" {
+		t.Fatalf("rendered %q", sql)
+	}
+	if len(args) != 2 || args[0] != int64(5) || args[1] != "bee" {
+		t.Fatalf("rebuilt args %v", args)
+	}
+}
+
+// TestRenderUnsupportedExprFails: unknown expression nodes surface as a
+// render error rather than silent bad SQL.
+func TestRenderUnsupportedExprFails(t *testing.T) {
+	r := &Renderer{}
+	r.Expr(nil)
+	if _, err := r.SQL(); err == nil {
+		t.Fatal("want error for unsupported expression")
+	}
+}
