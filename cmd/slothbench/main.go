@@ -25,7 +25,9 @@ func main() {
 	mergeOn := flag.Bool("merge", false, "enable the batch query-merge optimizer for suite experiments")
 	families := flag.String("families", "all", "merge families when -merge is set: all (equality+aggregate+range) | eq (equality only, the PR 1 baseline)")
 	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
-	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8,16)")
+	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
+	workers := flag.Int("workers", 0, "server DB worker queues for -exp throughput (0 = sweep 1,4)")
+	visits := flag.Bool("visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
 	flag.Parse()
 
 	kind, ok := dispatch.ParseKind(*dispatchFlag)
@@ -39,13 +41,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions); err != nil {
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions, *workers, *visits); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions int) error {
+func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions, workers int, visits bool) error {
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
 		build := func() (*bench.Env, error) {
@@ -213,16 +215,26 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, ki
 			return nil
 		},
 		"throughput": func() error {
-			counts := []int{1, 2, 4, 8, 16}
+			counts := []int{1, 2, 4, 8}
 			if sessions > 0 {
 				counts = []int{sessions}
+			}
+			wlist := []int{1, 4}
+			if workers > 0 {
+				wlist = []int{workers}
 			}
 			kinds := []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared}
 			if kindSet {
 				kinds = []dispatch.Kind{kind}
 			}
 			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
-				rep, err := bench.ConcurrentThroughput(id, counts, kinds, rtt)
+				rep, err := bench.ConcurrentThroughput(id, bench.ThroughputOptions{
+					Sessions: counts,
+					Kinds:    kinds,
+					Workers:  wlist,
+					RTT:      rtt,
+					Visits:   visits,
+				})
 				if err != nil {
 					return err
 				}

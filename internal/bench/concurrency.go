@@ -19,26 +19,71 @@ import (
 // Unlike the queueing-model Throughput (fig7), which derives curves from
 // single-session demands, this experiment actually RUNS the concurrency:
 // session goroutines share the server's occupancy timeline (batches queue
-// for capacity), the async dispatcher overlaps batch execution with
-// app-server compute, and the shared dispatcher coalesces identical
-// lookups across sessions in the hub window. It is also the stress test
-// that keeps the server path honest under `go test -race`.
+// for the K DB worker queues), the async dispatcher overlaps batch
+// execution with app-server compute, and the shared dispatcher coalesces
+// identical lookups across sessions in the hub window. Each page load also
+// records a visit-log write (the audit/analytics INSERT every production
+// handler makes), so the workload exercises write pipelining: with
+// PipelineWrites the mutation rides the pipeline instead of costing its
+// own blocking round trip. It is also the stress test that keeps the
+// server path honest under `go test -race`.
 
-// ConcurrencyRow is one (strategy, sessions) measurement.
+// visit is the access-log row the throughput workload inserts once per
+// page load.
+type visit struct {
+	ID      int64 `orm:"id,pk"`
+	Session int64 `orm:"session_id"`
+	Page    int64 `orm:"page_id"`
+}
+
+var visitMeta = orm.MustRegister[visit]("access_log")
+
+// visitSchema creates the access-log table in an environment whose app
+// schema does not include it.
+const visitSchema = "CREATE TABLE access_log (id INT PRIMARY KEY, session_id INT, page_id INT)"
+
+// ThroughputOptions configures ConcurrentThroughput's sweep.
+type ThroughputOptions struct {
+	Sessions []int           // concurrent session counts
+	Kinds    []dispatch.Kind // dispatch strategies to compare
+	Workers  []int           // server DB worker queues; nil sweeps just 1
+	RTT      time.Duration
+	// Visits makes every page load record one visit-log write. Deferred
+	// strategies are then measured twice — writes forced (the pre-
+	// pipelining behaviour) and writes pipelined — so the report shows
+	// what write pipelining buys.
+	Visits bool
+	// Pages restricts the replay to a page subset (tests); nil replays the
+	// app's full suite.
+	Pages []string
+}
+
+// ConcurrencyRow is one (strategy, sessions, workers) measurement.
 type ConcurrencyRow struct {
-	Kind     dispatch.Kind
-	Sessions int
-	Pages    int           // total page loads completed
-	Makespan time.Duration // max session virtual time
-	Rate     float64       // pages per simulated second
-	AvgPage  time.Duration // mean page latency across sessions
+	Kind            dispatch.Kind
+	PipelinedWrites bool // writes rode the pipeline (deferred kinds only)
+	Sessions        int
+	Workers         int           // server DB worker queues
+	Pages           int           // total page loads completed
+	Writes          int64         // visit-log writes issued
+	Makespan        time.Duration // max session virtual time
+	Rate            float64       // pages per simulated second
+	AvgPage         time.Duration // mean page latency across sessions
 
 	DBStmts   int64         // statements executed at the database
 	DBTime    time.Duration // server busy time
-	QueueWait time.Duration // time batches queued for server capacity
+	QueueWait time.Duration // time batches queued for DB worker capacity
 	Overlap   time.Duration // execution time hidden behind app compute
 	Windows   int64         // shared windows closed
 	Coalesced int64         // statements answered by another session's entry
+}
+
+// Strategy labels the row's dispatch configuration.
+func (row ConcurrencyRow) Strategy() string {
+	if row.PipelinedWrites {
+		return row.Kind.String() + "+pw"
+	}
+	return row.Kind.String()
 }
 
 // ConcurrencyReport is the dispatch-strategy throughput comparison.
@@ -48,10 +93,11 @@ type ConcurrencyReport struct {
 	Rows []ConcurrencyRow
 }
 
-// Rate returns the row for (kind, sessions), if present.
-func (r ConcurrencyReport) Row(kind dispatch.Kind, sessions int) (ConcurrencyRow, bool) {
+// Row returns the measurement for (kind, pipelined-writes, sessions,
+// workers), if present.
+func (r ConcurrencyReport) Row(kind dispatch.Kind, pw bool, sessions, workers int) (ConcurrencyRow, bool) {
 	for _, row := range r.Rows {
-		if row.Kind == kind && row.Sessions == sessions {
+		if row.Kind == kind && row.PipelinedWrites == pw && row.Sessions == sessions && row.Workers == workers {
 			return row, true
 		}
 	}
@@ -59,41 +105,72 @@ func (r ConcurrencyReport) Row(kind dispatch.Kind, sessions int) (ConcurrencyRow
 }
 
 // ConcurrentThroughput replays the app's page suite under every listed
-// session count and dispatch strategy. Each cell runs on a freshly seeded
-// environment so server occupancy and data state never leak between
-// configurations.
-func ConcurrentThroughput(id AppID, sessionCounts []int, kinds []dispatch.Kind, rtt time.Duration) (ConcurrencyReport, error) {
-	rep := ConcurrencyReport{App: id, RTT: rtt}
-	for _, n := range sessionCounts {
-		for _, kind := range kinds {
-			row, err := replayConcurrent(id, n, kind, rtt)
-			if err != nil {
-				return rep, fmt.Errorf("bench: throughput %s x%d: %w", kind, n, err)
+// session count, dispatch strategy, and DB worker count. Each cell runs on
+// a freshly seeded environment so server occupancy and data state never
+// leak between configurations.
+func ConcurrentThroughput(id AppID, opts ThroughputOptions) (ConcurrencyReport, error) {
+	rep := ConcurrencyReport{App: id, RTT: opts.RTT}
+	workers := opts.Workers
+	if len(workers) == 0 {
+		workers = []int{1}
+	}
+	for _, n := range opts.Sessions {
+		for _, w := range workers {
+			for _, kind := range opts.Kinds {
+				pws := []bool{false}
+				if opts.Visits && kind != dispatch.KindSync {
+					pws = []bool{false, true}
+				}
+				for _, pw := range pws {
+					row, err := replayConcurrent(id, n, kind, pw, w, opts)
+					if err != nil {
+						return rep, fmt.Errorf("bench: throughput %s x%d w%d: %w", kind, n, w, err)
+					}
+					rep.Rows = append(rep.Rows, row)
+				}
 			}
-			rep.Rows = append(rep.Rows, row)
 		}
 	}
 	return rep, nil
 }
 
-// replayConcurrent is one cell: n sessions, one strategy. Sessions load
-// pages in lockstep rounds — every session loads page k concurrently, then
-// a barrier — which keeps their virtual clocks aligned (the occupancy
-// model assumes comparable timelines) and gives the shared window its
-// natural coalescing opportunity, concurrent requests for the same page.
-func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (ConcurrencyRow, error) {
+// replayConcurrent is one cell: n sessions, one strategy, one DB worker
+// count. Sessions load pages in lockstep rounds — every session loads page
+// k concurrently, then a barrier — which keeps their virtual clocks
+// aligned (the occupancy model assumes comparable timelines) and gives the
+// shared window its natural coalescing opportunity, concurrent requests
+// for the same page. The symmetric lockstep replay is also what the shared
+// hub's virtual-time window policy assumes: every session submits the same
+// batch sequence, so each window generation's quorum deterministically
+// fills.
+func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, workers int, opts ThroughputOptions) (ConcurrencyRow, error) {
 	env, err := NewEnv(id, 1)
 	if err != nil {
 		return ConcurrencyRow{}, err
 	}
-	row := ConcurrencyRow{Kind: kind, Sessions: n}
+	env.Srv.SetWorkers(workers)
+	row := ConcurrencyRow{Kind: kind, PipelinedWrites: pipelineWrites, Sessions: n, Workers: workers}
+	pages := opts.Pages
+	if len(pages) == 0 {
+		pages = env.Pages()
+	}
+
+	if opts.Visits {
+		// Create the table directly in the engine, like the seed fixtures:
+		// DDL through a timed connection would charge worker 0's busy
+		// horizon before any session starts and skew QueueWait.
+		if _, err := env.Srv.DB().NewSession().Exec(visitSchema); err != nil {
+			return row, err
+		}
+	}
 
 	var hub *dispatch.Hub
 	if kind == dispatch.KindShared {
-		hub = env.newHub(rtt, querystore.Config{})
-		// Close windows at the session quorum; a demander holds the window
-		// open briefly (real time, not simulated) for stragglers.
-		hub.SetWindow(n, 2*time.Millisecond)
+		hub = env.newHub(opts.RTT, querystore.Config{})
+		// Deterministic virtual-time close: each session's j-th read batch
+		// joins window generation j, which closes exactly when all n
+		// sessions have contributed — no wall-clock grace anywhere.
+		hub.SetWindow(n)
 	}
 
 	clocks := make([]*netsim.VirtualClock, n)
@@ -101,8 +178,12 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (C
 	stores := make([]*querystore.Store, n)
 	for i := range clocks {
 		clocks[i] = netsim.NewVirtualClock()
-		conn := env.Srv.Connect(netsim.NewLink(clocks[i], rtt))
-		stores[i] = querystore.New(conn, querystore.Config{Dispatch: kind, Hub: hub})
+		conn := env.Srv.Connect(netsim.NewLink(clocks[i], opts.RTT))
+		stores[i] = querystore.New(conn, querystore.Config{
+			Dispatch:       kind,
+			Hub:            hub,
+			PipelineWrites: pipelineWrites,
+		})
 		sessions[i] = orm.NewSession(stores[i], orm.ModeSloth)
 	}
 	defer func() {
@@ -111,11 +192,25 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (C
 		}
 	}()
 
-	var overlap time.Duration
 	var mu sync.Mutex
 	var firstErr error
+	// fail records a session error and, under a quorum window, poisons the
+	// hub: the dead session will never fill its generations, so the
+	// survivors' parked Waits must be released (demand-close mode) or the
+	// round barrier would deadlock instead of reporting the error.
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		if hub != nil {
+			hub.SetWindow(0)
+			hub.CloseWindow()
+		}
+	}
 
-	for _, page := range env.Pages() {
+	for p, page := range pages {
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
 			wg.Add(1)
@@ -125,11 +220,18 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (C
 				// every load re-fetches, like a fresh ORM session.
 				sessions[i].Clear()
 				if _, err := env.LoadInto(page, sessions[i]); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("session %d page %q: %w", i, page, err)
+					fail(fmt.Errorf("session %d page %q: %w", i, page, err))
+					return
+				}
+				if opts.Visits {
+					v := &visit{
+						ID:      int64(i)*1_000_000 + int64(p) + 1,
+						Session: int64(i),
+						Page:    int64(p),
 					}
-					mu.Unlock()
+					if err := visitMeta.Insert(sessions[i], v); err != nil {
+						fail(fmt.Errorf("session %d page %q visit: %w", i, page, err))
+					}
 				}
 			}(i)
 		}
@@ -139,12 +241,27 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, rtt time.Duration) (C
 		}
 		if hub != nil {
 			// Drain speculative reads nobody forced, so windows never mix
-			// statements from different lockstep rounds.
+			// statements from different lockstep rounds, and realign the
+			// window generations for the next round.
 			hub.CloseWindow()
 		}
 	}
 
-	row.Pages = n * len(env.Pages())
+	// Quiesce: collect every in-flight batch so pipelined writes land (and
+	// report any deferred failure) before the books are read. Sessions that
+	// overlapped those writes with later pages advance their clocks little
+	// or not at all here — that remaining tail is the honest cost.
+	for i, s := range stores {
+		if err := s.Flush(); err != nil {
+			return row, fmt.Errorf("session %d final flush: %w", i, err)
+		}
+	}
+
+	row.Pages = n * len(pages)
+	if opts.Visits {
+		row.Writes = int64(row.Pages)
+	}
+	var overlap time.Duration
 	for i := range clocks {
 		if t := clocks[i].Now(); t > row.Makespan {
 			row.Makespan = t
@@ -174,16 +291,16 @@ func (r ConcurrencyReport) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== Throughput: %d-page %s suite, concurrent sessions, rtt %v ==\n",
 		pagesPerRow(r), r.App, r.RTT)
-	fmt.Fprintf(&sb, "%8s %9s %10s %12s %12s %9s %11s %11s %10s\n",
-		"sessions", "dispatch", "pages/s", "avg page", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
+	fmt.Fprintf(&sb, "%8s %10s %7s %10s %12s %12s %9s %11s %11s %10s\n",
+		"sessions", "dispatch", "workers", "pages/s", "avg page", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
 	last := -1
 	for _, row := range r.Rows {
 		if last != -1 && row.Sessions != last {
 			sb.WriteByte('\n')
 		}
 		last = row.Sessions
-		fmt.Fprintf(&sb, "%8d %9s %10.1f %12v %12v %9d %11v %11v %10d\n",
-			row.Sessions, row.Kind, row.Rate,
+		fmt.Fprintf(&sb, "%8d %10s %7d %10.1f %12v %12v %9d %11v %11v %10d\n",
+			row.Sessions, row.Strategy(), row.Workers, row.Rate,
 			row.AvgPage.Round(time.Microsecond),
 			row.Makespan.Round(10*time.Microsecond),
 			row.DBStmts,
@@ -192,12 +309,23 @@ func (r ConcurrencyReport) Format() string {
 			row.Coalesced)
 	}
 	for _, n := range sessionCounts(r) {
-		s, okS := r.Row(dispatch.KindSync, n)
-		a, okA := r.Row(dispatch.KindAsync, n)
-		sh, okSh := r.Row(dispatch.KindShared, n)
-		if okS && okA && okSh && s.Rate > 0 {
-			fmt.Fprintf(&sb, "x%d: async %.2fx, shared %.2fx over sync\n",
-				n, a.Rate/s.Rate, sh.Rate/s.Rate)
+		for _, w := range workerCounts(r) {
+			s, okS := r.Row(dispatch.KindSync, false, n, w)
+			a, okA := r.Row(dispatch.KindAsync, false, n, w)
+			sh, okSh := r.Row(dispatch.KindShared, false, n, w)
+			if okS && okA && okSh && s.Rate > 0 {
+				fmt.Fprintf(&sb, "x%d w%d: async %.2fx, shared %.2fx over sync\n",
+					n, w, a.Rate/s.Rate, sh.Rate/s.Rate)
+			}
+			apw, okApw := r.Row(dispatch.KindAsync, true, n, w)
+			shpw, okShpw := r.Row(dispatch.KindShared, true, n, w)
+			if okA && okApw && a.Rate > 0 {
+				line := fmt.Sprintf("x%d w%d: write pipelining async %.3fx", n, w, apw.Rate/a.Rate)
+				if okSh && okShpw && sh.Rate > 0 {
+					line += fmt.Sprintf(", shared %.3fx", shpw.Rate/sh.Rate)
+				}
+				sb.WriteString(line + "\n")
+			}
 		}
 	}
 	return sb.String()
@@ -217,6 +345,18 @@ func sessionCounts(r ConcurrencyReport) []int {
 		if !seen[row.Sessions] {
 			seen[row.Sessions] = true
 			out = append(out, row.Sessions)
+		}
+	}
+	return out
+}
+
+func workerCounts(r ConcurrencyReport) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, row := range r.Rows {
+		if !seen[row.Workers] {
+			seen[row.Workers] = true
+			out = append(out, row.Workers)
 		}
 	}
 	return out

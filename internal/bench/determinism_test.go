@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+// These tests pin the end of the shared hub's wall-clock dependence: the
+// old window policy held windows open for a real-time grace (time.After),
+// so window counts — and every stat downstream of them — depended on host
+// speed and scheduler mood. Under the virtual-time generation policy two
+// identical runs must agree bit for bit.
+
+// sharedCell runs one shared-dispatch throughput cell over a small page
+// subset.
+func sharedCell(t *testing.T, visits bool) ConcurrencyRow {
+	t.Helper()
+	env, err := NewEnv(Itracker, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ConcurrentThroughput(Itracker, ThroughputOptions{
+		Sessions: []int{4},
+		Kinds:    []dispatch.Kind{dispatch.KindShared},
+		Workers:  []int{2},
+		RTT:      500 * time.Microsecond,
+		Visits:   visits,
+		Pages:    env.Pages()[:8],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := rep.Row(dispatch.KindShared, false, 4, 2)
+	if !ok {
+		t.Fatal("missing shared row")
+	}
+	return row
+}
+
+// TestSharedDispatchDeterministic: a read-only shared replay is
+// reproducible in every measured dimension — window counts, coalescing,
+// statements, queue waits, makespan, rate — because nothing in the close
+// policy consults the wall clock.
+func TestSharedDispatchDeterministic(t *testing.T) {
+	first := sharedCell(t, false)
+	if first.Windows == 0 || first.Coalesced == 0 {
+		t.Fatalf("degenerate run: %+v", first)
+	}
+	for rep := 0; rep < 2; rep++ {
+		again := sharedCell(t, false)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("shared replay diverged between identical runs:\nfirst %+v\nagain %+v", first, again)
+		}
+	}
+}
+
+// TestSharedHubStatsDeterministicWithWrites: with per-page visit writes in
+// the workload (write barriers between windows), the hub's window counts
+// and coalescing stats must still be identical across runs — writes bypass
+// the window and barrier only on their own session's tickets, so they
+// cannot perturb window composition.
+func TestSharedHubStatsDeterministicWithWrites(t *testing.T) {
+	first := sharedCell(t, true)
+	for rep := 0; rep < 2; rep++ {
+		again := sharedCell(t, true)
+		if first.Windows != again.Windows || first.Coalesced != again.Coalesced {
+			t.Fatalf("hub windows/coalesced diverged: %d/%d vs %d/%d",
+				first.Windows, first.Coalesced, again.Windows, again.Coalesced)
+		}
+		if first.DBStmts != again.DBStmts || first.Writes != again.Writes {
+			t.Fatalf("statement counts diverged: %d/%d vs %d/%d",
+				first.DBStmts, first.Writes, again.DBStmts, again.Writes)
+		}
+	}
+}

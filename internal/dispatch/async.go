@@ -9,6 +9,12 @@ import (
 	"repro/internal/sqldb"
 )
 
+// DefaultAsyncDepth is the initial capacity of the async dispatcher's
+// ticket queue. The queue grows past it rather than blocking Submit — a
+// fixed-depth channel here once meant that a session submitting more than
+// 16 flushes before its first Wait silently serialized on the dispatcher.
+const DefaultAsyncDepth = 16
+
 // Async is the pipelined-flush strategy: Submit stamps the batch with the
 // session's current virtual time and hands it to a single worker goroutine,
 // so the flush returns immediately and the session keeps computing while
@@ -19,36 +25,87 @@ import (
 // driver, ROADMAP "async/pipelined flushes").
 //
 // The single FIFO worker preserves statement order across batches, so
-// write barriers hold exactly as in the synchronous strategy.
+// write barriers hold exactly as in the synchronous strategy. The queue
+// between Submit and the worker is unbounded: Submit never blocks, however
+// many flushes a session issues before its first Wait (Stats.PeakQueue
+// records the high-water mark).
 type Async struct {
 	conn  *driver.Conn
 	clock netsim.Clock
 
 	stages []Stage
-	ch     chan *Ticket
-	wg     sync.WaitGroup
 	box    statsBox
 
+	// Ticket queue, guarded by mu; nonEmpty signals the worker. depth is
+	// the configured initial capacity, reused when a drained queue's
+	// backing array is recycled.
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	queue    []*Ticket
+	depth    int
+	closed   bool
+
+	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// NewAsync creates the asynchronous dispatcher and starts its worker.
-// Close must be called to stop the worker.
+// NewAsync creates the asynchronous dispatcher with the default queue
+// depth and starts its worker. Close must be called to stop the worker.
 func NewAsync(conn *driver.Conn, stages ...Stage) *Async {
+	return NewAsyncDepth(conn, 0, stages...)
+}
+
+// NewAsyncDepth creates the asynchronous dispatcher with an initial ticket
+// queue capacity of depth (<= 0 selects DefaultAsyncDepth). Depth is a
+// sizing hint only: the queue grows when a burst of flushes outruns the
+// worker, so Submit never blocks and batches never serialize behind a full
+// buffer.
+func NewAsyncDepth(conn *driver.Conn, depth int, stages ...Stage) *Async {
+	if depth <= 0 {
+		depth = DefaultAsyncDepth
+	}
 	a := &Async{
 		conn:   conn,
 		clock:  conn.Clock(),
 		stages: stages,
-		ch:     make(chan *Ticket, 16),
+		queue:  make([]*Ticket, 0, depth),
+		depth:  depth,
 	}
+	a.nonEmpty = sync.NewCond(&a.mu)
 	a.wg.Add(1)
 	go a.worker()
 	return a
 }
 
+// next blocks until a ticket is queued or the dispatcher is closed and
+// drained, popping in FIFO order.
+func (a *Async) next() (*Ticket, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.queue) == 0 {
+		if a.closed {
+			return nil, false
+		}
+		a.nonEmpty.Wait()
+	}
+	t := a.queue[0]
+	a.queue[0] = nil
+	a.queue = a.queue[1:]
+	if len(a.queue) == 0 {
+		// Burst drained: recycle a fresh backing array so the slice window
+		// never creeps through an ever-growing allocation.
+		a.queue = make([]*Ticket, 0, a.depth)
+	}
+	return t, true
+}
+
 func (a *Async) worker() {
 	defer a.wg.Done()
-	for t := range a.ch {
+	for {
+		t, ok := a.next()
+		if !ok {
+			return
+		}
 		out, demux, ss := applyStages(a.stages, t.stmts)
 		results, done, err := a.conn.ExecBatchAt(t.arrival, out)
 		if err == nil && demux != nil {
@@ -62,11 +119,27 @@ func (a *Async) worker() {
 	}
 }
 
-// Submit enqueues the batch and returns immediately.
+// Submit enqueues the batch and returns immediately; it never blocks on
+// queue capacity. Submitting after Close is a caller bug and panics (as
+// the old closed-channel send did) rather than handing back a ticket no
+// worker will ever complete.
 func (a *Async) Submit(stmts []driver.Stmt) *Ticket {
 	a.box.addSubmit(len(stmts))
 	t := &Ticket{stmts: stmts, arrival: a.clock.Now(), done: make(chan struct{})}
-	a.ch <- t
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		panic("dispatch: Submit on closed Async dispatcher")
+	}
+	a.queue = append(a.queue, t)
+	n := int64(len(a.queue))
+	a.mu.Unlock()
+	a.nonEmpty.Signal()
+	a.box.mu.Lock()
+	if n > a.box.stats.PeakQueue {
+		a.box.stats.PeakQueue = n
+	}
+	a.box.mu.Unlock()
 	return t
 }
 
@@ -97,7 +170,10 @@ func (a *Async) Stats() Stats { return a.box.snapshot() }
 // submitted before Close remain waitable.
 func (a *Async) Close() {
 	a.closeOnce.Do(func() {
-		close(a.ch)
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
+		a.nonEmpty.Signal()
 		a.wg.Wait()
 	})
 }

@@ -144,6 +144,10 @@ type Stats struct {
 	// with app-server compute: the portion of completion time a session
 	// did not have to wait for (async and shared only).
 	OverlapSaved time.Duration
+	// PeakQueue is the high-water mark of tickets waiting for the async
+	// worker — how far a burst of pipelined flushes outran execution
+	// without ever blocking Submit (async only).
+	PeakQueue int64
 	// Windows and Coalesced describe shared-window activity: windows
 	// closed (attempts, like StmtsOut), and statements answered by another
 	// in-window statement.

@@ -170,7 +170,7 @@ func TestSharedQuorumClosesWindow(t *testing.T) {
 	srv, connect := rig(t)
 	hubConn, _ := connect(0)
 	hub := NewHub(hubConn, 0)
-	hub.SetWindow(2, 0)
+	hub.SetWindow(2)
 	conn1, _ := connect(0)
 	conn2, _ := connect(0)
 	d1 := NewShared(hub, conn1)
@@ -336,6 +336,131 @@ func TestSharedWindowErrorAccounting(t *testing.T) {
 	}
 	if hs.StmtsOut != 2 {
 		t.Fatalf("StmtsOut = %d, want 2 (attempted statements count on the error path)", hs.StmtsOut)
+	}
+}
+
+// TestSharedExtraSessionBeyondQuorum: a front end registered past the
+// SetWindow quorum must not resurrect closed generations — its batches
+// join the lowest open generation, and CloseWindow drains everything
+// without spinning.
+func TestSharedExtraSessionBeyondQuorum(t *testing.T) {
+	srv, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0)
+	hub.SetWindow(2)
+	conns := make([]*Shared, 3)
+	for i := range conns {
+		c, _ := connect(0)
+		conns[i] = NewShared(hub, c)
+	}
+
+	t1 := conns[0].Submit([]driver.Stmt{sel(1)})
+	t2 := conns[1].Submit([]driver.Stmt{sel(1)}) // quorum: generation 0 closes
+	mustWait(t, conns[0], t1)
+	mustWait(t, conns[1], t2)
+
+	before := srv.Stats().Queries
+	t3 := conns[2].Submit([]driver.Stmt{sel(2)}) // would be gen 0, clamps to gen 1
+	done := make(chan struct{})
+	go func() {
+		hub.CloseWindow() // must terminate, not scan ints forever
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("CloseWindow did not terminate with an entry below nextClose")
+	}
+	if rs := mustWait(t, conns[2], t3); rs[0].Rows[0][1] != "pear" {
+		t.Fatalf("extra session rows: %v", rs[0].Rows)
+	}
+	if got := srv.Stats().Queries - before; got != 1 {
+		t.Fatalf("drain executed %d statements, want 1", got)
+	}
+}
+
+// TestSharedPoisonReleasesParkedWaiter: dropping the quorum (SetWindow(0))
+// and draining releases a session parked on a generation that will never
+// fill — the escape hatch the throughput harness uses when a session dies
+// mid-round.
+func TestSharedPoisonReleasesParkedWaiter(t *testing.T) {
+	_, connect := rig(t)
+	hubConn, _ := connect(0)
+	hub := NewHub(hubConn, 0)
+	hub.SetWindow(2)
+	conn1, _ := connect(0)
+	d1 := NewShared(hub, conn1)
+
+	tk := d1.Submit([]driver.Stmt{sel(3)})
+	released := make(chan struct{})
+	go func() {
+		mustWait(t, d1, tk) // parks: the second session never arrives
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("waiter returned before the quorum or a drain")
+	case <-time.After(10 * time.Millisecond):
+	}
+	hub.SetWindow(0)
+	hub.CloseWindow()
+	select {
+	case <-released:
+	case <-time.After(10 * time.Second):
+		t.Fatal("poisoned hub did not release the parked waiter")
+	}
+}
+
+// gateStage blocks the async worker inside the pipeline until released,
+// so a test can pile up submissions behind a deliberately stuck worker.
+type gateStage struct{ release chan struct{} }
+
+func (g gateStage) Apply(stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats) {
+	<-g.release
+	return stmts, nil, StageStats{}
+}
+
+// TestAsyncSubmitNeverBlocks is the regression test for the fixed-depth
+// ticket channel: NewAsync once buffered 16 tickets, so a session
+// submitting more flushes than that before its first Wait blocked in
+// Submit and silently serialized on the worker. The queue is unbounded
+// now: with the worker stuck inside the first batch, 40 further Submits
+// must all return, and every ticket must still complete in FIFO order once
+// the worker is released.
+func TestAsyncSubmitNeverBlocks(t *testing.T) {
+	_, connect := rig(t)
+	conn, _ := connect(0)
+	gate := gateStage{release: make(chan struct{})}
+	a := NewAsync(conn, gate)
+	defer a.Close()
+
+	const burst = 40 // well past the old channel depth of 16
+	tickets := make([]*Ticket, 0, burst)
+	submitted := make(chan struct{})
+	go func() {
+		defer close(submitted)
+		for i := 0; i < burst; i++ {
+			tickets = append(tickets, a.Submit([]driver.Stmt{sel(int64(i%3 + 1))}))
+		}
+	}()
+	select {
+	case <-submitted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Submit blocked on queue depth with the worker busy")
+	}
+	// The worker may have popped the first ticket before stalling in the
+	// gate, so the peak is at least burst-1 — still far past the old cap.
+	if peak := a.Stats().PeakQueue; peak < burst-1 || peak <= DefaultAsyncDepth {
+		t.Fatalf("PeakQueue = %d, want >= %d (every submission queued)", peak, burst-1)
+	}
+
+	close(gate.release)
+	names := []string{"apple", "pear", "fig"}
+	for i, tk := range tickets {
+		rs := mustWait(t, a, tk)
+		if got := rs[0].Rows[0][1]; got != names[i%3] {
+			t.Fatalf("ticket %d out of order: row %v, want %s", i, rs[0].Rows, names[i%3])
+		}
 	}
 }
 

@@ -1,7 +1,7 @@
 package dispatch
 
 import (
-	"time"
+	"sort"
 
 	"repro/internal/driver"
 	"repro/internal/merge"
@@ -9,19 +9,31 @@ import (
 	"repro/internal/sqldb"
 )
 
-// DefaultWindowCap bounds how many statements a shared window accumulates
-// before it closes on its own (a demand — any session waiting on one of
-// its tickets — closes it earlier).
+// DefaultWindowCap bounds how many statements a demand-closed shared
+// window accumulates before it closes on its own (a demand — any session
+// waiting on one of its tickets — closes it earlier). With a session
+// quorum configured (SetWindow), windows are bounded by the quorum instead
+// and the cap does not apply.
 const DefaultWindowCap = 256
 
 // Hub is the server-side accumulation window shared by the Shared
 // dispatchers of concurrent sessions (ROADMAP "cross-request batching").
-// Read-only batches submitted by any session collect in the current
-// window; when the window closes — on demand, or at the statement cap —
-// statements that are identical across sessions collapse to one execution,
-// the pipeline stages (batch merging) rewrite the combined batch, and it
-// executes in a single round trip on the hub's own connection. Results are
-// then demultiplexed back to every contributing session.
+// Read-only batches submitted by any session collect in windows; when a
+// window closes, statements that are identical across sessions collapse to
+// one execution, the pipeline stages (batch merging) rewrite the combined
+// batch, and it executes in a single round trip on the hub's own
+// connection. Results are then demultiplexed back to every contributing
+// session.
+//
+// Window close is governed by a VIRTUAL-TIME policy (SetWindow): it
+// depends only on the sessions' own progress — which batch each session
+// has reached, and the virtual arrival times stamped by their simulated
+// clocks — never on the host's wall clock. An earlier design held windows
+// open for a real-time grace (`time.After`) so concurrent submitters could
+// meet; that made window counts, coalescing stats, and therefore the
+// shared-dispatch throughput numbers host-speed-dependent and CI-flaky.
+// Under the virtual-time policy two identical runs produce identical
+// windows, bit for bit, on any host.
 //
 // A Hub is safe for concurrent use; the window mutex serializes closes.
 type Hub struct {
@@ -29,30 +41,36 @@ type Hub struct {
 	stages []Stage
 	cap    int
 
-	// Window policy (SetWindow): close as soon as `expected` distinct
-	// sessions have contributed, and let a demanding session hold the
-	// window open for up to `grace` of real time waiting for them. grace
-	// is a mechanism knob for letting truly concurrent submitters meet in
-	// one window — it never enters the virtual-time arithmetic.
+	// expected is the session quorum (SetWindow): with expected > 0, each
+	// session's j-th read batch since the last drain joins window
+	// generation j, and generation j closes exactly when all expected
+	// sessions have contributed their j-th batch. Zero (the default) keeps
+	// the single-session policy: one accumulating window, closed by the
+	// first demand or the statement cap.
 	expected int
-	grace    time.Duration
 
 	box statsBox
 
 	// Window state, guarded by box.mu (closes hold it across execution so
-	// a closing session acts for everyone racing it). owners tracks the
-	// distinct sessions represented in the window: the quorum is sessions,
-	// not batches, so one session submitting twice (e.g. reads split by a
-	// write barrier) cannot close the window early for everyone else.
-	window      []*windowEntry
-	windowStmts int
-	owners      map[*Shared]struct{}
+	// a closing session acts for everyone racing it).
+	open      *window         // the accumulating window (expected == 0)
+	gens      map[int]*window // open generations (expected > 0)
+	nextGen   map[*Shared]int // each session's next generation index
+	nextClose int             // lowest generation not yet closed
+	owners    int             // sessions registered (owner ids handed out)
 }
 
-// windowEntry is one session's batch waiting in the window, with the
-// routing of its statements into the combined batch.
+// window is one accumulation of batches awaiting a combined execution.
+type window struct {
+	entries []*windowEntry
+	stmts   int
+}
+
+// windowEntry is one session's batch waiting in a window, with the routing
+// of its statements into the combined batch.
 type windowEntry struct {
 	t      *Ticket
+	owner  *Shared
 	routes []int // per original statement: index into the combined batch
 	intro  int   // statements this entry introduced (first occurrence)
 }
@@ -71,79 +89,167 @@ func NewHub(conn *driver.Conn, cap int, stages ...Stage) *Hub {
 // across sessions, statements actually executed).
 func (h *Hub) Stats() Stats { return h.box.snapshot() }
 
-// SetWindow configures the accumulation policy: the window closes once
-// `expected` distinct sessions have contributed a batch (typically the
-// number of concurrent sessions), and a session demanding results holds it
-// open for at most `grace` of real time first. The defaults (0, 0) close
-// on first demand — correct for a single session, where there is nobody
-// to wait for.
-func (h *Hub) SetWindow(expected int, grace time.Duration) {
+// SetWindow configures the virtual-time accumulation policy: with
+// `expected` > 0 (typically the number of concurrent sessions), each
+// session's j-th read batch joins window generation j and the generation
+// closes exactly when all expected sessions have contributed — a trigger
+// driven purely by session progress on the simulated timeline, so window
+// contents and stats are deterministic. A session demanding a result
+// blocks until its window's quorum fills; the policy therefore assumes
+// sessions replay symmetric workloads (the lockstep throughput harness) or
+// drain explicitly with CloseWindow. The default (0) closes on first
+// demand — correct for a single session, where there is nobody to wait
+// for.
+func (h *Hub) SetWindow(expected int) {
 	h.box.mu.Lock()
 	defer h.box.mu.Unlock()
 	h.expected = expected
-	h.grace = grace
 }
 
-// add appends a read-only batch to the current window, closing the window
-// if the session quorum or statement cap is reached.
+// register hands out the owner id that orders a session's entries inside a
+// window (virtual-arrival ties break on it, so creation order — not
+// goroutine scheduling — decides).
+func (h *Hub) register(s *Shared) int {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.owners++
+	return h.owners
+}
+
+// add appends a read-only batch: to the session's current generation under
+// a quorum policy (closing every generation whose quorum is now full), or
+// to the single accumulating window otherwise (closing at the statement
+// cap).
 func (h *Hub) add(t *Ticket, owner *Shared) {
 	h.box.mu.Lock()
 	defer h.box.mu.Unlock()
-	h.window = append(h.window, &windowEntry{t: t})
-	h.windowStmts += len(t.stmts)
-	if h.owners == nil {
-		h.owners = make(map[*Shared]struct{})
+	e := &windowEntry{t: t, owner: owner}
+	if h.expected > 0 {
+		if h.gens == nil {
+			h.gens = make(map[int]*window)
+			h.nextGen = make(map[*Shared]int)
+		}
+		g := h.nextGen[owner]
+		if g < h.nextClose {
+			// A session that fell behind the close frontier (registered
+			// after the quorum was configured, or past the expected count)
+			// joins the lowest open generation instead of resurrecting a
+			// closed one.
+			g = h.nextClose
+		}
+		h.nextGen[owner] = g + 1
+		w := h.gens[g]
+		if w == nil {
+			w = &window{}
+			h.gens[g] = w
+		}
+		w.entries = append(w.entries, e)
+		w.stmts += len(t.stmts)
+		h.closeReadyLocked()
+		return
 	}
-	h.owners[owner] = struct{}{}
-	if h.windowStmts >= h.cap || (h.expected > 0 && len(h.owners) >= h.expected) {
-		h.closeLocked()
+	if h.open == nil {
+		h.open = &window{}
+	}
+	h.open.entries = append(h.open.entries, e)
+	h.open.stmts += len(t.stmts)
+	if h.open.stmts >= h.cap {
+		w := h.open
+		h.open = nil
+		h.closeWindowLocked(w)
 	}
 }
 
-// waitForTicket blocks until t completes. With a grace period configured,
-// the demanding session first waits up to that long so concurrent sessions
-// can land their batches in the same window (the quorum trigger in add
-// then closes it); only after the grace expires does it force the close
+// closeReadyLocked closes full generations in order. Generations fill in
+// order too — a session reaches its j+1st batch only after its j-th — so
+// the loop normally closes at most the generation the caller just
+// completed.
+func (h *Hub) closeReadyLocked() {
+	for {
+		w := h.gens[h.nextClose]
+		if w == nil || len(w.entries) < h.expected {
+			return
+		}
+		delete(h.gens, h.nextClose)
+		h.nextClose++
+		h.closeWindowLocked(w)
+	}
+}
+
+// waitForTicket blocks until t completes. Under a quorum policy the close
+// is the quorum's job — the laggard sessions' own submissions fill the
+// window — so the demander just parks on the ticket; there is no wall-
+// clock grace anywhere. Without a quorum the demander closes the window
 // itself.
 func (h *Hub) waitForTicket(t *Ticket) {
 	h.box.mu.Lock()
-	grace := h.grace
+	expected := h.expected
 	h.box.mu.Unlock()
-	if grace > 0 {
+	if expected == 0 {
 		select {
 		case <-t.done:
 			return
-		case <-time.After(grace):
+		default:
+			h.CloseWindow()
 		}
 	}
-	select {
-	case <-t.done:
-	default:
-		h.CloseWindow()
-		<-t.done
-	}
+	<-t.done
 }
 
-// CloseWindow executes the current window, if any, filling every
-// contributing ticket. Sessions call it through Wait (demand-driven close)
-// and before write barriers; it is also exported for tests and draining.
+// CloseWindow executes every open window, in generation order, filling
+// each contributing ticket, and realigns the generation counters so the
+// next accumulation starts a fresh round. Sessions call it through Wait
+// (demand-driven close, quorum-less hubs only) and write barriers; the
+// harness calls it to drain speculative reads between lockstep rounds.
 func (h *Hub) CloseWindow() {
 	h.box.mu.Lock()
 	defer h.box.mu.Unlock()
-	h.closeLocked()
+	if w := h.open; w != nil {
+		h.open = nil
+		h.closeWindowLocked(w)
+	}
+	// Close open generations lowest-first by scanning the key set, not by
+	// counting up from nextClose: a session beyond the quorum (more
+	// front-ends registered than SetWindow expected) can repopulate a
+	// generation below nextClose, which a counting loop would never reach.
+	for len(h.gens) > 0 {
+		lowest := -1
+		for g := range h.gens {
+			if lowest == -1 || g < lowest {
+				lowest = g
+			}
+		}
+		w := h.gens[lowest]
+		delete(h.gens, lowest)
+		h.closeWindowLocked(w)
+	}
+	h.nextClose = 0
+	if h.nextGen != nil {
+		clear(h.nextGen)
+	}
 }
 
-func (h *Hub) closeLocked() {
-	entries := h.window
-	h.window = nil
-	h.windowStmts = 0
-	h.owners = nil
+// closeWindowLocked coalesces, executes, and demultiplexes one window.
+func (h *Hub) closeWindowLocked(w *window) {
+	entries := w.entries
 	if len(entries) == 0 {
 		return
 	}
 
+	// Deterministic window order: entries sort by the virtual arrival time
+	// their session's simulated clock stamped at Submit, with ties broken
+	// by session creation order — never by which goroutine reached the hub
+	// first. Coalescing attribution (who introduced a statement, who hit
+	// it) is therefore reproducible run to run.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].t.arrival != entries[j].t.arrival {
+			return entries[i].t.arrival < entries[j].t.arrival
+		}
+		return entries[i].owner.id < entries[j].owner.id
+	})
+
 	// Coalesce: identical statements across (and within) the window's
-	// batches execute once. Entries are walked in submission order, so the
+	// batches execute once. Entries are walked in sorted order, so the
 	// combined batch respects every session's own statement order.
 	var combined []driver.Stmt
 	byKey := make(map[string]int)
@@ -285,8 +391,8 @@ func prorate(total int, weights []int) []int {
 
 // Shared is the per-session front end of a Hub: read-only batches go to
 // the shared window, write-containing batches act as per-session barriers
-// — the window is forced closed first (so this session's earlier reads
-// keep their order relative to the write), then the batch executes on the
+// — this session's earlier window reads must complete first (so they keep
+// their order relative to the write), then the batch executes on the
 // session's own connection, preserving its transaction state.
 type Shared struct {
 	hub    *Hub
@@ -294,32 +400,49 @@ type Shared struct {
 	clock  netsim.Clock
 	stages []Stage
 	box    statsBox
+	id     int
+
+	// lastWindow is this session's most recent window ticket — the batch a
+	// write must barrier behind. Only the session's own thread touches it.
+	lastWindow *Ticket
 }
 
 // NewShared creates a session front end over hub. The stages apply to this
 // session's write-containing batches (which bypass the window); window
 // batches use the hub's stages.
 func NewShared(hub *Hub, conn *driver.Conn, stages ...Stage) *Shared {
-	return &Shared{hub: hub, conn: conn, clock: conn.Clock(), stages: stages}
+	s := &Shared{hub: hub, conn: conn, clock: conn.Clock(), stages: stages}
+	s.id = hub.register(s)
+	return s
 }
 
 // Hub returns the shared accumulation window this front end feeds.
 func (s *Shared) Hub() *Hub { return s.hub }
 
 // Submit routes the batch: reads accumulate in the shared window, writes
-// barrier the window and execute on the session connection. Both return
-// immediately in session virtual time (completion is paid at Wait).
+// barrier this session's window reads and execute on the session
+// connection. Both return in session virtual time (completion is paid at
+// Wait).
 func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
 	s.box.addSubmit(len(stmts))
 	t := &Ticket{stmts: stmts, arrival: s.clock.Now(), done: make(chan struct{})}
 	if !containsWrite(stmts) {
+		s.lastWindow = t
 		s.hub.add(t, s)
 		return t
 	}
 
 	// Per-session barrier: everything this session put in the window was
-	// registered before the write, so it must execute first.
-	s.hub.CloseWindow()
+	// registered before the write, so it must execute first. Under a
+	// quorum policy the barrier waits for the window to fill (the
+	// deterministic close); a quorum-less hub closes it now.
+	if lw := s.lastWindow; lw != nil {
+		select {
+		case <-lw.done:
+		default:
+			s.hub.waitForTicket(lw)
+		}
+	}
 	out, demux, ss := applyStages(s.stages, stmts)
 	results, done, err := s.conn.ExecBatchAt(t.arrival, out)
 	if err == nil && demux != nil {
@@ -333,17 +456,13 @@ func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
 	return t
 }
 
-// Wait closes the ticket's window if it is still accumulating, blocks for
-// the results, and pays the completion time the session has not already
-// overlapped with compute.
+// Wait blocks for the ticket's results — closing its window if this hub
+// closes on demand — and pays the completion time the session has not
+// already overlapped with compute.
 func (s *Shared) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
 	select {
 	case <-t.done:
 	default:
-		// The ticket's window has not closed yet: give concurrent sessions
-		// the configured grace to join it, then force the close. Closing a
-		// window the ticket is no longer part of is harmless — those
-		// batches were pending anyway.
 		s.hub.waitForTicket(t)
 	}
 	if t.err != nil {

@@ -109,6 +109,13 @@ type ServerStats struct {
 	// QueueWait is total virtual time batches spent queued behind other
 	// batches for server capacity (only nonzero under concurrent sessions).
 	QueueWait time.Duration
+	// WorkerBatches attributes batch placement per DB worker queue
+	// (SetWorkers): WorkerBatches[i] is how many batches worker i executed.
+	WorkerBatches []int64
+	// WorkerBusy is the virtual execution time each worker accumulated —
+	// together with WorkerBatches it makes the K-queue occupancy model's
+	// load balance legible in the throughput reports.
+	WorkerBusy []time.Duration
 }
 
 // Server fronts an engine.DB. It is safe for concurrent use by many
@@ -129,27 +136,56 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats ServerStats
-	// busyUntil is the virtual time at which the server finishes the work
-	// already accepted — the single-queue occupancy model for concurrent
-	// sessions. A batch arriving at virtual time t starts at
-	// max(t, busyUntil); with one session the queue is always empty and the
-	// model collapses to the original serial accounting.
-	busyUntil time.Duration
+	// workers holds the busy horizon of each DB worker queue — the
+	// multi-queue occupancy model for concurrent sessions (the paper's
+	// server runs a pool of DB worker threads; SetWorkers sizes it). A batch
+	// arriving at virtual time t is placed on the worker that frees up
+	// first and starts at max(t, that worker's horizon); with one session
+	// and one worker the queue is always empty and the model collapses to
+	// the original serial accounting.
+	workers []time.Duration
 }
 
 // NewServer creates a server over db using the given clock and cost model.
+// The server starts with a single DB worker queue; SetWorkers resizes it.
 func NewServer(db *engine.DB, clock netsim.Clock, cost CostModel) *Server {
-	return &Server{db: db, clock: clock, cost: cost}
+	return &Server{db: db, clock: clock, cost: cost, workers: make([]time.Duration, 1)}
 }
 
 // DB returns the underlying engine (for direct data loading in fixtures).
 func (s *Server) DB() *engine.DB { return s.db }
 
+// SetWorkers sizes the DB worker pool to k queues (k < 1 selects 1),
+// resetting every queue's busy horizon and the per-worker stat
+// attribution (a shrunk pool must not keep reporting load on workers that
+// no longer exist). Call it between replays, not while batches are in
+// flight.
+func (s *Server) SetWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = make([]time.Duration, k)
+	s.stats.WorkerBatches = nil
+	s.stats.WorkerBusy = nil
+}
+
+// Workers reports the size of the DB worker pool.
+func (s *Server) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.WorkerBatches = append([]int64(nil), s.stats.WorkerBatches...)
+	st.WorkerBusy = append([]time.Duration(nil), s.stats.WorkerBusy...)
+	return st
 }
 
 // ResetStats zeroes the server counters.
@@ -209,16 +245,32 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 }
 
 // occupy reserves server capacity for a batch arriving at the given virtual
-// time: the batch starts when the server frees up and extends the busy
-// horizon by its cost. Returns the start time.
+// time: the batch is placed on the DB worker whose busy horizon is
+// earliest (ties break to the lowest index, so placement is deterministic
+// for a given call order), starts when that worker frees up, and extends
+// the worker's horizon by its cost. The wait is attributed to
+// ServerStats.QueueWait and the placement to WorkerBatches/WorkerBusy.
+// Returns the start time.
 func (s *Server) occupy(arrival, cost time.Duration) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := arrival
-	if s.busyUntil > start {
-		start = s.busyUntil
+	w := 0
+	for i := 1; i < len(s.workers); i++ {
+		if s.workers[i] < s.workers[w] {
+			w = i
+		}
 	}
-	s.busyUntil = start + cost
+	start := arrival
+	if s.workers[w] > start {
+		start = s.workers[w]
+	}
+	s.workers[w] = start + cost
+	for len(s.stats.WorkerBatches) < len(s.workers) {
+		s.stats.WorkerBatches = append(s.stats.WorkerBatches, 0)
+		s.stats.WorkerBusy = append(s.stats.WorkerBusy, 0)
+	}
+	s.stats.WorkerBatches[w]++
+	s.stats.WorkerBusy[w] += cost
 	s.stats.QueueWait += start - arrival
 	return start
 }

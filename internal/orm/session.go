@@ -102,9 +102,26 @@ func (s *Session) read(sql string, args ...sqldb.Value) func() (*sqldb.ResultSet
 
 // write executes a mutating statement. Under ModeSloth the registration
 // flushes the pending batch first, preserving order (paper Sec. 3.3).
+// When the store pipelines writes, the statement rides the dispatch
+// pipeline as a fire-and-forget ticket instead of forcing its own result:
+// read-your-writes holds through the identity map (loaded entities stay
+// current) and the dispatcher's per-session FIFO (later reads execute
+// after the write), and a failure surfaces at the session's next read
+// barrier or close. The returned result set is nil in that case — the ORM
+// mutators only inspect the error.
+//
+// The mutators update the identity map optimistically, before the
+// pipelined write has executed. A session that observes a deferred write
+// error is therefore inconsistent — optimistically cached entities may
+// never have been persisted — and must be discarded, exactly like a
+// Hibernate session after a flush failure; per-request sessions get this
+// for free, since the request that sees the error ends.
 func (s *Session) write(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
 	if s.mode == ModeOriginal {
 		return s.store.Conn().Query(sql, args...)
+	}
+	if s.store.WritesPipelined() {
+		return nil, s.store.ExecPipelined(sql, args...)
 	}
 	return s.store.Exec(sql, args...)
 }
@@ -246,3 +263,8 @@ func (m *Meta[T]) Delete(s *Session, id int64) error {
 func (s *Session) Begin() error    { _, err := s.write("BEGIN"); return err }
 func (s *Session) Commit() error   { _, err := s.write("COMMIT"); return err }
 func (s *Session) Rollback() error { _, err := s.write("ROLLBACK"); return err }
+
+// Close closes the session's query store: in-flight batches are collected
+// so any pipelined write that failed after the last read barrier reports
+// its error here instead of being dropped.
+func (s *Session) Close() error { return s.store.Close() }

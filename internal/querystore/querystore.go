@@ -23,9 +23,15 @@
 // store's own contract is unchanged under every strategy: results per
 // query id are identical, and a batch that failed reports its execution
 // error at force time for every id it carried (deferred-error delivery).
+// Under a deferred dispatcher, writes can additionally ride the pipeline
+// as fire-and-forget tickets (Config.PipelineWrites, ExecPipelined): the
+// write still flushes in statement order, but the session stops paying a
+// blocking round trip per mutation; failures surface at the next read
+// barrier or at Close, recorded against the write's id.
 package querystore
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dispatch"
@@ -60,6 +66,15 @@ type Config struct {
 	// Hub is the shared cross-session accumulation window, required when
 	// Dispatch is dispatch.KindShared and ignored otherwise.
 	Hub *dispatch.Hub
+	// PipelineWrites lets mutating statements ride a deferred dispatcher
+	// as fire-and-forget tickets (ExecPipelined): the write still flushes
+	// the batch in order — per-session FIFO execution preserves
+	// read-your-writes — but the session does not wait for its result.
+	// Execution errors are delivered at the next read barrier (any force
+	// that collects) or at Close, recorded against the write's QueryID.
+	// Ignored under the synchronous dispatcher, whose writes already
+	// surface errors at registration.
+	PipelineWrites bool
 }
 
 // Stats counts store activity for the experiment harness. All counters are
@@ -110,6 +125,13 @@ type Store struct {
 	inflight []inflight
 	nextID   QueryID
 	stats    Stats
+
+	// fireAndForget marks pipelined-write ids (ExecPipelined) whose result
+	// nobody will force; when such an id's batch fails, writeErrs carries
+	// the error (one entry per failed batch) to the next read barrier or
+	// Close so none is ever dropped.
+	fireAndForget map[QueryID]struct{}
+	writeErrs     []error
 }
 
 // New creates a query store over an established connection, building the
@@ -155,10 +177,20 @@ func NewWithDispatcher(conn *driver.Conn, cfg Config, disp dispatch.Dispatcher) 
 	}
 }
 
-// Close releases dispatcher resources (the async worker goroutine).
-// Results already cached remain readable; no further registrations should
-// follow.
-func (s *Store) Close() { s.disp.Close() }
+// Close collects every in-flight batch — recording any deferred execution
+// error against the ids it carried, exactly like a read barrier, so a
+// pipelined write that failed after the last force is never dropped — and
+// then releases dispatcher resources (the async worker goroutine). Close
+// is the last delivery point: a pending pipelined-write error joins any
+// batch error in the return value rather than being discarded. Results
+// already cached remain readable; no further registrations should follow.
+// Statements still pending in the unsubmitted queue are discarded, as the
+// paper's store does for speculative reads nobody forced.
+func (s *Store) Close() error {
+	err := s.barrierErr(s.collect())
+	s.disp.Close()
+	return err
+}
 
 // Conn returns the underlying connection.
 func (s *Store) Conn() *driver.Conn { return s.conn }
@@ -255,7 +287,10 @@ func (s *Store) flushForProgress() error {
 
 // ResultSet returns the result for id, flushing the pending batch in a
 // single round trip if the result is not yet cached. An id whose batch
-// failed returns that batch's execution error.
+// failed returns that batch's execution error. A force that collects is
+// also a read barrier for pipelined writes: if a fire-and-forget write's
+// batch failed since the last barrier, that error is delivered here (the
+// forced id's own result stays cached for a retry).
 func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 	if rs, ok := s.cache[id]; ok {
 		return rs, nil
@@ -266,12 +301,19 @@ func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 	s.submit()
 	ferr := s.collect()
 	if rs, ok := s.cache[id]; ok {
+		if werr := s.takeWriteErr(); werr != nil {
+			return nil, werr
+		}
 		return rs, nil
 	}
 	if err, ok := s.errs[id]; ok {
+		// Returning this batch's error delivers it; a write error from a
+		// DIFFERENT batch stays latched for the next barrier.
+		s.dropWriteErr(err)
 		return nil, err
 	}
 	if ferr != nil {
+		s.dropWriteErr(ferr)
 		return nil, ferr
 	}
 	return nil, fmt.Errorf("querystore: unknown query id %d", id)
@@ -280,12 +322,13 @@ func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 // Flush sends every pending statement to the database in one round trip,
 // waits for every in-flight batch, and caches the results. A flush with an
 // empty queue and no in-flight batches is a no-op. The returned error is
-// the first batch failure observed; the same error is also recorded
-// against every id of the failed batch, so later forces of those ids see
-// it (deferred-error delivery).
+// the first batch failure observed, joined with every pending
+// pipelined-write failure (each delivered exactly once); the same errors
+// are also recorded against every id of their failed batches, so later
+// forces of those ids see them (deferred-error delivery).
 func (s *Store) Flush() error {
 	s.submit()
-	return s.collect()
+	return s.barrierErr(s.collect())
 }
 
 // FlushAsync is the pipelined-flush hint: under a deferred dispatcher it
@@ -327,7 +370,10 @@ func (s *Store) submit() {
 }
 
 // collect waits for every in-flight batch, caching results and recording
-// deferred errors per id. Returns the first batch error observed.
+// deferred errors per id. Returns the first batch error observed. A failed
+// batch carrying a fire-and-forget write additionally latches writeErr, so
+// the failure reaches the next barrier even though nobody forces the
+// write's own id.
 func (s *Store) collect() error {
 	var first error
 	for _, f := range s.inflight {
@@ -339,15 +385,28 @@ func (s *Store) collect() error {
 			// Deferred-error delivery: every id of the failed batch
 			// reports the original execution error at force time instead
 			// of "unknown query id".
+			ffHit := false
 			for _, id := range f.ids {
 				if _, dup := s.errs[id]; !dup {
 					s.errs[id] = err
 				}
+				if _, ff := s.fireAndForget[id]; ff {
+					delete(s.fireAndForget, id)
+					ffHit = true
+				}
+			}
+			if ffHit {
+				// Latch per failed batch: two pipelined writes that failed
+				// in separate batches both reach the next barrier.
+				s.writeErrs = append(s.writeErrs, err)
 			}
 			continue
 		}
 		for i, id := range f.ids {
 			s.cache[id] = results[i]
+			if len(s.fireAndForget) > 0 {
+				delete(s.fireAndForget, id)
+			}
 		}
 		s.stats.Executed += int64(bs.Sent)
 		s.stats.MergeSaved += int64(bs.Saved)
@@ -370,6 +429,75 @@ func (s *Store) Exec(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) 
 		return nil, err
 	}
 	return s.ResultSet(id)
+}
+
+// WritesPipelined reports whether mutating statements ride the pipeline as
+// fire-and-forget tickets: the store is configured for it AND the
+// dispatcher actually defers execution (pipelining through the synchronous
+// dispatcher would change nothing but the error surface).
+func (s *Store) WritesPipelined() bool {
+	return s.cfg.PipelineWrites && s.disp.Deferred()
+}
+
+// ExecPipelined registers a mutating statement and lets it ride the
+// pipeline without demanding its result. Registration still flushes the
+// batch in order — the dispatcher's per-session FIFO preserves
+// read-your-writes — but a deferred dispatcher's session does not wait for
+// completion: the write's round trip overlaps whatever the session
+// computes next. If the write's batch later fails, the error is recorded
+// against the write's QueryID and delivered at the next read barrier or at
+// Close. Under the synchronous dispatcher this is Exec minus the result.
+func (s *Store) ExecPipelined(sql string, args ...sqldb.Value) error {
+	id, err := s.Register(sql, args...)
+	if err != nil {
+		return err
+	}
+	if !s.disp.Deferred() {
+		_, err := s.ResultSet(id)
+		return err
+	}
+	if s.fireAndForget == nil {
+		s.fireAndForget = make(map[QueryID]struct{})
+	}
+	s.fireAndForget[id] = struct{}{}
+	return nil
+}
+
+// takeWriteErr pops every undelivered pipelined-write error, joined.
+func (s *Store) takeWriteErr() error {
+	if len(s.writeErrs) == 0 {
+		return nil
+	}
+	err := errors.Join(s.writeErrs...)
+	s.writeErrs = nil
+	return err
+}
+
+// dropWriteErr removes one latched write error that is being delivered
+// through another return path, so it is not reported twice.
+func (s *Store) dropWriteErr(err error) {
+	for i, w := range s.writeErrs {
+		if w == err {
+			s.writeErrs = append(s.writeErrs[:i], s.writeErrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// barrierErr combines a barrier's own batch error with every pending
+// pipelined-write error: the barrier delivers all of it at once, counting
+// the batch error only once even when it is also latched.
+func (s *Store) barrierErr(err error) error {
+	s.dropWriteErr(err)
+	werr := s.takeWriteErr()
+	switch {
+	case err == nil:
+		return werr
+	case werr == nil:
+		return err
+	default:
+		return errors.Join(err, werr)
+	}
 }
 
 // Result pairs a result set with the deferred error from its execution, so
