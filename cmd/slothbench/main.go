@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|hosttime|all")
 	rtt := flag.Duration("rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
 	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
 	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
@@ -28,6 +28,8 @@ func main() {
 	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
 	workers := flag.Int("workers", 0, "server DB worker queues for -exp throughput (0 = sweep 1,4)")
 	visits := flag.Bool("visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
+	hostReps := flag.Int("hostreps", 3, "measured replays per cache mode for -exp hosttime")
+	hostOut := flag.String("hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
 	flag.Parse()
 
 	kind, ok := dispatch.ParseKind(*dispatchFlag)
@@ -41,13 +43,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions, *workers, *visits); err != nil {
+	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions, *workers, *visits, *hostReps, *hostOut); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions, workers int, visits bool) error {
+func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions, workers int, visits bool, hostReps int, hostOut string) error {
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
 		build := func() (*bench.Env, error) {
@@ -239,6 +241,17 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, ki
 					return err
 				}
 				fmt.Print(rep.Format())
+			}
+			return nil
+		},
+		"hosttime": func() error {
+			rep, err := bench.HostTime(bench.HostTimeOptions{Reps: hostReps, RTT: rtt, Out: hostOut})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
+			if rep.Speedup < 1.5 {
+				return fmt.Errorf("hosttime: plan-cache speedup %.2fx below the 1.5x floor", rep.Speedup)
 			}
 			return nil
 		},

@@ -232,9 +232,18 @@ func applyStages(stages []Stage, stmts []driver.Stmt) ([]driver.Stmt, Demux, Sta
 }
 
 // containsWrite reports whether any statement in the batch mutates state
-// or controls a transaction — the per-session barrier condition.
+// or controls a transaction — the per-session barrier condition. The
+// threaded AST (parse-once: populated by the query store at submit time)
+// classifies exactly; statements without one fall back to the keyword
+// scan, which agrees on every parseable statement.
 func containsWrite(stmts []driver.Stmt) bool {
 	for _, st := range stmts {
+		if st.Parsed != nil {
+			if sqlparse.IsWrite(st.Parsed) {
+				return true
+			}
+			continue
+		}
 		if sqlparse.IsWriteSQL(st.SQL) {
 			return true
 		}

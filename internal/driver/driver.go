@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/engine"
+	"repro/internal/sqldb/plan"
 	"repro/internal/sqldb/sqlparse"
 )
 
@@ -26,6 +27,12 @@ import (
 type Stmt struct {
 	SQL  string
 	Args []sqldb.Value
+	// Parsed is the statement's AST, populated by the query store at
+	// submit time from the process-wide parse interner so SQL text is
+	// parsed once per distinct template per run. Consumers (the merge
+	// analyzer, the server's cost loop) use it when set and fall back to
+	// the interner when nil; it never affects statement identity (Key).
+	Parsed sqlparse.Statement
 }
 
 // Key canonicalizes the statement (SQL plus normalized argument values)
@@ -211,11 +218,15 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 	}
 
 	for _, st := range stmts {
-		parsed, err := sqlparse.Parse(st.SQL)
-		if err != nil {
-			return nil, total, fmt.Errorf("driver: %w", err)
+		parsed := st.Parsed
+		if parsed == nil {
+			var err error
+			parsed, err = plan.ParseCached(st.SQL)
+			if err != nil {
+				return nil, total, fmt.Errorf("driver: %w", err)
+			}
 		}
-		rs, err := sess.ExecStmt(parsed, st.Args)
+		rs, err := sess.ExecPrepared(st.SQL, parsed, st.Args)
 		if err != nil {
 			return nil, total, err
 		}

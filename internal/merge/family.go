@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/plan"
 	"repro/internal/sqldb/sqlparse"
 )
 
@@ -171,11 +172,17 @@ func rangeClass(v sqldb.Value) (string, bool) {
 }
 
 // analyze classifies one statement against the enabled families, returning
-// a candidate when it is mergeable and nil otherwise.
+// a candidate when it is mergeable and nil otherwise. It consumes the AST
+// the query store threaded through the batch (falling back to the parse
+// interner), so analysis never re-parses SQL text.
 func (m *Merger) analyze(st driver.Stmt) *candidate {
-	parsed, err := sqlparse.Parse(st.SQL)
-	if err != nil {
-		return nil
+	parsed := st.Parsed
+	if parsed == nil {
+		var err error
+		parsed, err = plan.ParseCached(st.SQL)
+		if err != nil {
+			return nil
+		}
 	}
 	sel, ok := parsed.(*sqlparse.SelectStmt)
 	if !ok {

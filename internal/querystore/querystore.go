@@ -38,6 +38,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/merge"
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/plan"
 	"repro/internal/sqldb/sqlparse"
 	"repro/internal/thunk"
 )
@@ -358,6 +359,16 @@ func (s *Store) submit() {
 	for i, p := range batch {
 		stmts[i] = p.stmt
 		ids[i] = p.id
+		// Parse-once threading: attach the interned AST here, at submit
+		// time, so the merge analyzer, the driver's cost loop, and the
+		// engine all consume one parse per distinct SQL text. Malformed
+		// statements keep a nil AST — execution re-derives the (interned)
+		// parse error and reports it through the usual deferred path.
+		if stmts[i].Parsed == nil {
+			if parsed, err := plan.ParseCached(stmts[i].SQL); err == nil {
+				stmts[i].Parsed = parsed
+			}
+		}
 	}
 	t := s.disp.Submit(stmts)
 	s.inflight = append(s.inflight, inflight{t: t, ids: ids})

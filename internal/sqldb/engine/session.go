@@ -1,26 +1,42 @@
+// Package engine implements the query processor of the reproduction's
+// database: statement execution over the storage layer, transaction
+// control, and DDL. Since the prepared-plan layer (internal/sqldb/plan)
+// was introduced, the engine executes compiled plans: parsing is interned
+// per distinct SQL text, and column resolution, select-list expansion, and
+// access-path choice happen once per (SQL text, schema epoch) instead of
+// on every call. It is the stand-in for the MySQL server in the paper's
+// experimental setup.
 package engine
 
 import (
 	"fmt"
 
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/plan"
 	"repro/internal/sqldb/sqlparse"
 	"repro/internal/sqldb/storage"
 )
 
-// DB is the database instance: a storage store plus schema DDL entry points.
+// DB is the database instance: a storage store, its compiled-plan cache,
+// and schema DDL entry points.
 type DB struct {
 	store *storage.Store
+	plans *plan.Cache
 }
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{store: storage.NewStore()}
+	store := storage.NewStore()
+	return &DB{store: store, plans: plan.NewCache(store)}
 }
 
 // Store exposes the underlying storage (the benchmark data generators use
 // it for bulk loading without SQL round trips).
 func (db *DB) Store() *storage.Store { return db.store }
+
+// PlanCache exposes the compiled-plan cache (hit-rate reporting and the
+// plan-correctness tests).
+func (db *DB) PlanCache() *plan.Cache { return db.plans }
 
 // Session is one client's execution context, holding its transaction state.
 // Sessions are not safe for concurrent use; the server gives each
@@ -36,37 +52,70 @@ func (db *DB) NewSession() *Session { return &Session{db: db} }
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.txn != nil }
 
-// Exec parses and executes one statement with optional positional args.
+// Exec parses (through the process-wide parse interner) and executes one
+// statement with optional positional args.
 func (s *Session) Exec(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := plan.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st, args)
+	return s.ExecPrepared(sql, st, args)
 }
 
-// ExecStmt executes a parsed statement. It acquires the store lock for the
+// ExecStmt executes an already-parsed statement. Without the SQL text the
+// plan cache has no key, so the statement compiles afresh each call;
+// callers that have the text should use ExecPrepared.
+func (s *Session) ExecStmt(st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	return s.ExecPrepared("", st, args)
+}
+
+// ExecPrepared executes a parsed statement whose text is sql, going
+// through the compiled-plan cache. It acquires the store lock for the
 // duration of the statement — the engine serializes statements, which is
 // sufficient for the reproduction's single-store workloads.
-func (s *Session) ExecStmt(st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
-	for i := range args {
-		args[i] = sqldb.Normalize(args[i])
-	}
+func (s *Session) ExecPrepared(sql string, st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	args = normalizeArgs(args)
 	s.db.store.Lock()
 	defer s.db.store.Unlock()
-	return s.execLocked(st, args)
+	return s.execLocked(sql, st, args)
 }
 
-func (s *Session) execLocked(st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
+// normalizeArgs maps convenience Go types onto canonical values without
+// mutating the caller's slice: tickets in the dispatch pipeline retain
+// their argument slices across deferred execution, so normalizing in place
+// (as an earlier version did) would alias state the caller still owns.
+func normalizeArgs(args []sqldb.Value) []sqldb.Value {
+	for i, v := range args {
+		switch v.(type) {
+		case int, int32, int16, int8, uint, uint32, uint64, float32:
+			out := make([]sqldb.Value, len(args))
+			copy(out, args[:i])
+			for j := i; j < len(args); j++ {
+				out[j] = sqldb.Normalize(args[j])
+			}
+			return out
+		}
+	}
+	return args
+}
+
+func (s *Session) execLocked(sql string, st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
 	switch x := st.(type) {
-	case *sqlparse.SelectStmt:
-		return s.execSelect(x, args)
-	case *sqlparse.InsertStmt:
-		return s.execInsert(x, args)
-	case *sqlparse.UpdateStmt:
-		return s.execUpdate(x, args)
-	case *sqlparse.DeleteStmt:
-		return s.execDelete(x, args)
+	case *sqlparse.SelectStmt, *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt:
+		p := s.db.plans.Prepare(sql, st)
+		if p.Err != nil {
+			return nil, p.Err
+		}
+		switch {
+		case p.Select != nil:
+			return p.Select.Exec(args)
+		case p.Insert != nil:
+			return s.execInsert(p.Insert, args)
+		case p.Update != nil:
+			return s.execUpdate(p.Update, args)
+		default:
+			return s.execDelete(p.Delete, args)
+		}
 	case *sqlparse.CreateTableStmt:
 		return s.execCreateTable(x)
 	case *sqlparse.CreateIndexStmt:
@@ -101,6 +150,7 @@ func (s *Session) execCreateTable(st *sqlparse.CreateTableStmt) (*sqldb.ResultSe
 	for i, c := range st.Cols {
 		cols[i] = storage.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
 	}
+	// CreateTable bumps the store's schema epoch, invalidating cached plans.
 	if _, err := s.db.store.CreateTable(st.Name, cols); err != nil {
 		return nil, err
 	}
@@ -112,46 +162,28 @@ func (s *Session) execCreateIndex(st *sqlparse.CreateIndexStmt) (*sqldb.ResultSe
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
+	// AddIndex notifies the store, bumping the schema epoch so cached plans
+	// recompile and pick up the new access path.
 	if err := t.AddIndex(st.Col, st.Unique); err != nil {
 		return nil, err
 	}
 	return &sqldb.ResultSet{}, nil
 }
 
-func (s *Session) execInsert(st *sqlparse.InsertStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
-	t, ok := s.db.store.Table(st.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
-	}
-	// Map statement columns to table ordinals; default is positional.
-	ordinals := make([]int, 0, len(t.Columns))
-	if st.Cols == nil {
-		for i := range t.Columns {
-			ordinals = append(ordinals, i)
-		}
-	} else {
-		for _, name := range st.Cols {
-			i, ok := t.ColOrdinal(name)
-			if !ok {
-				return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, name)
-			}
-			ordinals = append(ordinals, i)
-		}
-	}
-
+func (s *Session) execInsert(p *plan.InsertPlan, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	t := p.T
 	rs := &sqldb.ResultSet{}
-	ctx := &evalCtx{env: newRowEnv(), args: args}
-	for _, exprRow := range st.Rows {
-		if len(exprRow) != len(ordinals) {
-			return nil, fmt.Errorf("engine: INSERT row has %d values, want %d", len(exprRow), len(ordinals))
+	for _, fns := range p.RowFns {
+		if len(fns) != len(p.Ordinals) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, want %d", len(fns), len(p.Ordinals))
 		}
 		row := make(storage.Row, len(t.Columns))
-		for j, e := range exprRow {
-			v, err := ctx.eval(e)
+		for j, fn := range fns {
+			v, err := fn(nil, args)
 			if err != nil {
 				return nil, err
 			}
-			row[ordinals[j]] = v
+			row[p.Ordinals[j]] = v
 		}
 		id, err := t.Insert(row)
 		if err != nil {
@@ -170,117 +202,53 @@ func (s *Session) execInsert(st *sqlparse.InsertStmt, args []sqldb.Value) (*sqld
 	return rs, nil
 }
 
-func (s *Session) execUpdate(st *sqlparse.UpdateStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
-	t, ok := s.db.store.Table(st.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
-	}
-	env := newRowEnv()
-	if _, err := env.addFrame(st.Table, t); err != nil {
-		return nil, err
-	}
-	setOrds := make([]int, len(st.Sets))
-	for i, a := range st.Sets {
-		ord, ok := t.ColOrdinal(a.Col)
-		if !ok {
-			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, a.Col)
-		}
-		setOrds[i] = ord
-	}
-
-	ids, scanned, err := s.matchRows(t, st.Table, st.Where, env, args)
+func (s *Session) execUpdate(p *plan.UpdatePlan, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	ids, scanned, err := p.Access.Match(args)
 	if err != nil {
 		return nil, err
 	}
 	rs := &sqldb.ResultSet{RowsScanned: scanned}
 	for _, id := range ids {
-		row, ok := t.Get(id)
+		row, ok := p.T.Get(id)
 		if !ok {
 			continue
 		}
-		ctx := &evalCtx{env: env, row: row, args: args}
 		newRow := make(storage.Row, len(row))
 		copy(newRow, row)
-		for i, a := range st.Sets {
-			v, err := ctx.eval(a.Expr)
+		for i, fn := range p.SetFns {
+			v, err := fn(row, args)
 			if err != nil {
 				return nil, err
 			}
-			newRow[setOrds[i]] = v
+			newRow[p.SetOrds[i]] = v
 		}
-		old, err := t.Update(id, newRow)
+		old, err := p.T.Update(id, newRow)
 		if err != nil {
 			return nil, err
 		}
 		if s.txn != nil {
-			s.txn.LogUpdate(t, id, old)
+			s.txn.LogUpdate(p.T, id, old)
 		}
 		rs.RowsAffected++
 	}
 	return rs, nil
 }
 
-func (s *Session) execDelete(st *sqlparse.DeleteStmt, args []sqldb.Value) (*sqldb.ResultSet, error) {
-	t, ok := s.db.store.Table(st.Table)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
-	}
-	env := newRowEnv()
-	if _, err := env.addFrame(st.Table, t); err != nil {
-		return nil, err
-	}
-	ids, scanned, err := s.matchRows(t, st.Table, st.Where, env, args)
+func (s *Session) execDelete(p *plan.DeletePlan, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	ids, scanned, err := p.Access.Match(args)
 	if err != nil {
 		return nil, err
 	}
 	rs := &sqldb.ResultSet{RowsScanned: scanned}
 	for _, id := range ids {
-		old, ok := t.Delete(id)
+		old, ok := p.T.Delete(id)
 		if !ok {
 			continue
 		}
 		if s.txn != nil {
-			s.txn.LogDelete(t, id, old)
+			s.txn.LogDelete(p.T, id, old)
 		}
 		rs.RowsAffected++
 	}
 	return rs, nil
-}
-
-// matchRows returns ids of rows satisfying where, using the index when the
-// predicate allows it.
-func (s *Session) matchRows(t *storage.Table, binding string, where sqlparse.Expr, env *rowEnv, args []sqldb.Value) ([]storage.RowID, int, error) {
-	var candidates []storage.RowID
-	scanned := 0
-	if ord, vals, ok := s.indexablePredicate(t, binding, where, args); ok {
-		for _, val := range vals {
-			candidates = append(candidates, t.Lookup(ord, val)...)
-		}
-	} else {
-		t.Scan(func(id storage.RowID, _ storage.Row) bool {
-			candidates = append(candidates, id)
-			return true
-		})
-	}
-	if where == nil {
-		scanned = len(candidates)
-		return candidates, scanned, nil
-	}
-	var out []storage.RowID
-	for _, id := range candidates {
-		row, ok := t.Get(id)
-		if !ok {
-			continue
-		}
-		scanned++
-		ctx := &evalCtx{env: env, row: row, args: args}
-		v, err := ctx.eval(where)
-		if err != nil {
-			return nil, scanned, err
-		}
-		if v != nil && sqldb.Truthy(v) {
-			out = append(out, id)
-		}
-	}
-	return out, scanned, nil
 }

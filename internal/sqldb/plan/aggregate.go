@@ -1,0 +1,360 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+)
+
+// aggEvalFn is a compiled expression in aggregation context: aggregate
+// calls resolve to precomputed per-group values, everything else evaluates
+// against the group's sample source row.
+type aggEvalFn func(row, args, aggVals []sqldb.Value) (sqldb.Value, error)
+
+// aggCall is one compiled aggregate call site.
+type aggCall struct {
+	name  string
+	star  bool
+	argFn EvalFn // nil for COUNT(*)
+	// arityErr is the per-row error for calls with a wrong argument count —
+	// raised only when a row is actually accumulated, as before.
+	arityErr error
+}
+
+// aggPlan is the compiled aggregation pipeline: output labels, group-by key
+// expressions, the collected aggregate calls, and output/HAVING expressions
+// with aggregate substitution.
+type aggPlan struct {
+	cols    []string
+	outs    []aggEvalFn
+	calls   []aggCall
+	groupBy []EvalFn
+	having  aggEvalFn // nil when absent
+}
+
+// compileAggPlan builds the aggregation plan for a statement that
+// hasAggregates.
+func compileAggPlan(st *sqlparse.SelectStmt, env *Env) (*aggPlan, error) {
+	p := &aggPlan{}
+
+	type outExpr struct {
+		label string
+		expr  sqlparse.Expr
+	}
+	var outs []outExpr
+	for _, se := range st.Cols {
+		if se.Star {
+			return nil, fmt.Errorf("engine: * not allowed with aggregation")
+		}
+		label := se.Alias
+		if label == "" {
+			if ref, ok := se.Expr.(*sqlparse.ColRef); ok {
+				label = ref.Name
+			} else {
+				label = exprLabel(se.Expr)
+			}
+		}
+		outs = append(outs, outExpr{label: label, expr: se.Expr})
+		p.cols = append(p.cols, label)
+	}
+
+	// Collect every aggregate call appearing in select list or HAVING, in
+	// traversal order; call sites are identified by AST node, so each
+	// occurrence gets its own accumulator exactly as the interpreter's
+	// pointer-matched substitution did.
+	callIdx := make(map[*sqlparse.FuncCall]int)
+	var collect func(e sqlparse.Expr)
+	collect = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.FuncCall:
+			if x.IsAggregate() {
+				if _, dup := callIdx[x]; !dup {
+					callIdx[x] = len(p.calls)
+					p.calls = append(p.calls, compileAggCall(x, env))
+				}
+			}
+		case *sqlparse.Binary:
+			collect(x.L)
+			collect(x.R)
+		case *sqlparse.Unary:
+			collect(x.Expr)
+		}
+	}
+	for _, o := range outs {
+		collect(o.expr)
+	}
+	if st.Having != nil {
+		collect(st.Having)
+	}
+
+	for i := range st.GroupBy {
+		p.groupBy = append(p.groupBy, Compile(&st.GroupBy[i], env))
+	}
+	for _, o := range outs {
+		p.outs = append(p.outs, compileAggExpr(o.expr, env, callIdx))
+	}
+	if st.Having != nil {
+		p.having = compileAggExpr(st.Having, env, callIdx)
+	}
+	return p, nil
+}
+
+func compileAggCall(fc *sqlparse.FuncCall, env *Env) aggCall {
+	c := aggCall{name: fc.Name, star: fc.Star}
+	if fc.Star {
+		return c
+	}
+	if len(fc.Args) != 1 {
+		c.arityErr = fmt.Errorf("engine: %s expects 1 argument", fc.Name)
+		return c
+	}
+	c.argFn = Compile(fc.Args[0], env)
+	return c
+}
+
+// compileAggExpr compiles an output or HAVING expression: aggregate calls
+// index into the per-group values; other nodes mirror the interpreter's
+// aggregate-substitution evaluator (both operands evaluate before binary
+// operators combine — no short circuit, exactly as before).
+func compileAggExpr(e sqlparse.Expr, env *Env, callIdx map[*sqlparse.FuncCall]int) aggEvalFn {
+	switch x := e.(type) {
+	case *sqlparse.FuncCall:
+		if i, ok := callIdx[x]; ok {
+			return func(_, _, aggVals []sqldb.Value) (sqldb.Value, error) {
+				return aggVals[i], nil
+			}
+		}
+		err := fmt.Errorf("engine: unbound aggregate %s", x.Name)
+		return func(_, _, _ []sqldb.Value) (sqldb.Value, error) { return nil, err }
+	case *sqlparse.Binary:
+		l := compileAggExpr(x.L, env, callIdx)
+		r := compileAggExpr(x.R, env, callIdx)
+		op := x.Op
+		logical := op == sqlparse.OpAnd || op == sqlparse.OpOr
+		return func(row, args, aggVals []sqldb.Value) (sqldb.Value, error) {
+			lv, err := l(row, args, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			rv, err := r(row, args, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			if logical {
+				return applyLogical(op, lv, rv)
+			}
+			return applyBinary(op, lv, rv)
+		}
+	case *sqlparse.Unary:
+		inner := compileAggExpr(x.Expr, env, callIdx)
+		neg := x.Neg
+		return func(row, args, aggVals []sqldb.Value) (sqldb.Value, error) {
+			v, err := inner(row, args, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			if neg {
+				switch n := v.(type) {
+				case int64:
+					return -n, nil
+				case float64:
+					return -n, nil
+				case nil:
+					return nil, nil
+				default:
+					return nil, fmt.Errorf("engine: cannot negate %T", v)
+				}
+			}
+			if v == nil {
+				return nil, nil
+			}
+			return !sqldb.Truthy(v), nil
+		}
+	default:
+		scalar := Compile(e, env)
+		return func(row, args, _ []sqldb.Value) (sqldb.Value, error) {
+			return scalar(row, args)
+		}
+	}
+}
+
+// aggState accumulates one aggregate call over a group.
+type aggState struct {
+	call  *aggCall
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	seen  bool
+	min   sqldb.Value
+	max   sqldb.Value
+}
+
+func (a *aggState) add(row, args []sqldb.Value) error {
+	c := a.call
+	if c.star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	if c.arityErr != nil {
+		return c.arityErr
+	}
+	v, err := c.argFn(row, args)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	a.count++
+	switch c.name {
+	case "COUNT":
+		return nil
+	case "SUM", "AVG":
+		switch n := v.(type) {
+		case int64:
+			if !a.seen {
+				a.isInt = true
+			}
+			a.sumI += n
+			a.sum += float64(n)
+		case float64:
+			a.isInt = false
+			a.sum += n
+		default:
+			return fmt.Errorf("engine: %s over non-numeric %T", c.name, v)
+		}
+		a.seen = true
+		return nil
+	case "MIN", "MAX":
+		if !a.seen {
+			a.min, a.max = v, v
+			a.seen = true
+			return nil
+		}
+		cMin, err := sqldb.Compare(v, a.min)
+		if err != nil {
+			return err
+		}
+		if cMin < 0 {
+			a.min = v
+		}
+		cMax, err := sqldb.Compare(v, a.max)
+		if err != nil {
+			return err
+		}
+		if cMax > 0 {
+			a.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown aggregate %s", c.name)
+	}
+}
+
+func (a *aggState) result() sqldb.Value {
+	switch a.call.name {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if !a.seen {
+			return nil
+		}
+		if a.isInt {
+			return a.sumI
+		}
+		return a.sum
+	case "AVG":
+		if !a.seen || a.count == 0 {
+			return nil
+		}
+		return a.sum / float64(a.count)
+	case "MIN":
+		if !a.seen {
+			return nil
+		}
+		return a.min
+	case "MAX":
+		if !a.seen {
+			return nil
+		}
+		return a.max
+	default:
+		return nil
+	}
+}
+
+// groupState is one GROUP BY bucket.
+type groupState struct {
+	aggs   []aggState
+	sample []sqldb.Value // a representative source row for group-key output
+}
+
+// exec buckets rows, accumulates aggregates, and renders output rows in
+// first-seen group order.
+func (p *aggPlan) exec(rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	var groups []*groupState
+	set := newRowSet(16)
+	keyVals := make([]sqldb.Value, len(p.groupBy))
+	newGroup := func(sample []sqldb.Value) *groupState {
+		g := &groupState{sample: sample, aggs: make([]aggState, len(p.calls))}
+		for i := range g.aggs {
+			g.aggs[i].call = &p.calls[i]
+		}
+		return g
+	}
+	for _, row := range rows {
+		for i, fn := range p.groupBy {
+			v, err := fn(row, args)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		idx, fresh := set.Add(keyVals)
+		var g *groupState
+		if fresh {
+			g = newGroup(row)
+			groups = append(groups, g)
+		} else {
+			g = groups[idx]
+		}
+		for i := range g.aggs {
+			if err := g.aggs[i].add(row, args); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A global aggregate with no rows still yields one row.
+	if len(p.groupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, newGroup(nil))
+	}
+
+	rs := &sqldb.ResultSet{Cols: p.cols}
+	aggVals := make([]sqldb.Value, len(p.calls))
+	for _, g := range groups {
+		for i := range g.aggs {
+			aggVals[i] = g.aggs[i].result()
+		}
+		if p.having != nil {
+			hv, err := p.having(g.sample, args, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			if hv == nil || !sqldb.Truthy(hv) {
+				continue
+			}
+		}
+		out := make([]sqldb.Value, len(p.outs))
+		for i, fn := range p.outs {
+			v, err := fn(g.sample, args, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rs.Rows = append(rs.Rows, out)
+	}
+	return rs, nil
+}

@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"sync"
+
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/sqldb/storage"
+)
+
+// Prepared is one statement's compiled form. Exactly one of the plan
+// fields is set for DML statements; Err carries an unconditional
+// compilation failure (unknown table, bad SET column, ...) that execution
+// reports every time, exactly as the interpreted executor did.
+type Prepared struct {
+	Stmt   sqlparse.Statement
+	Select *SelectPlan
+	Insert *InsertPlan
+	Update *UpdatePlan
+	Delete *DeletePlan
+	Err    error
+}
+
+// compile builds the plan for any statement kind. Non-DML statements (DDL,
+// transaction control) carry no plan: the engine executes them directly.
+func compile(st sqlparse.Statement, store *storage.Store) *Prepared {
+	p := &Prepared{Stmt: st}
+	switch x := st.(type) {
+	case *sqlparse.SelectStmt:
+		p.Select, p.Err = CompileSelect(x, store)
+	case *sqlparse.InsertStmt:
+		p.Insert, p.Err = CompileInsert(x, store)
+	case *sqlparse.UpdateStmt:
+		p.Update, p.Err = CompileUpdate(x, store)
+	case *sqlparse.DeleteStmt:
+		p.Delete, p.Err = CompileDelete(x, store)
+	}
+	return p
+}
+
+// CacheStats counts compiled-plan cache activity.
+type CacheStats struct {
+	Hits          int64 // Prepare calls answered by a current cached plan
+	Misses        int64 // Prepare calls that compiled (first sight, cache off, or no key)
+	Invalidations int64 // cached plans recompiled because the schema epoch moved
+}
+
+// HitRate is hits over total lookups, 0 when nothing was looked up.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheEntry pins a compiled plan to the schema epoch it was built under.
+type cacheEntry struct {
+	epoch uint64
+	p     *Prepared
+}
+
+// Cache is a per-database compiled-plan cache keyed by (SQL text, schema
+// epoch). DDL bumps the store's epoch; stale entries recompile lazily on
+// next use. The cache is concurrency-safe on its own mutex — callers
+// additionally hold the store lock across Prepare-and-execute, which is
+// what makes a returned plan safe to run (plans alias table metadata).
+//
+// Eviction is deliberately absent: the workloads are small template sets,
+// and the harness favours predictable steady-state behaviour over bounded
+// memory (see DESIGN.md "Prepared plans").
+type Cache struct {
+	store *storage.Store
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	stats   CacheStats
+}
+
+// NewCache creates an empty plan cache over store.
+func NewCache(store *storage.Store) *Cache {
+	return &Cache{store: store, entries: make(map[string]cacheEntry)}
+}
+
+// Prepare returns the compiled plan for (sql, st), compiling on first
+// sight or when the schema epoch moved since the cached compile. An empty
+// sql key (a caller holding only an AST) and a disabled cache both compile
+// afresh. The caller must hold the store lock.
+func (c *Cache) Prepare(sql string, st sqlparse.Statement) *Prepared {
+	if sql == "" || !CachingEnabled() {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		return compile(st, c.store)
+	}
+	epoch := c.store.Epoch()
+	c.mu.Lock()
+	e, ok := c.entries[sql]
+	if ok && e.epoch == epoch {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.p
+	}
+	if ok {
+		c.stats.Invalidations++
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	p := compile(st, c.store)
+
+	c.mu.Lock()
+	c.entries[sql] = cacheEntry{epoch: epoch, p: p}
+	c.mu.Unlock()
+	return p
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (cached plans are kept).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = CacheStats{}
+}
+
+// Len reports how many distinct SQL texts hold cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"testing"
+)
+
+// benchSQL is a representative golden-workload template (join + predicate
+// + ordering).
+const benchSQL = "SELECT i.id, i.description, u.login FROM issues i JOIN users u ON u.id = i.owner_id WHERE i.project_id = ? AND i.status IN (1, 2, 3) ORDER BY i.id DESC"
+
+// BenchmarkParse compares the interned parse path against parsing afresh
+// on every call (the seed behaviour, paid up to three times per statement
+// execution before parse-once threading).
+func BenchmarkParse(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		prev := SetCaching(true)
+		defer SetCaching(prev)
+		if _, err := ParseCached(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseCached(benchSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		prev := SetCaching(false)
+		defer SetCaching(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseCached(benchSQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

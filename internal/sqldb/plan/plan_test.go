@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
+	"repro/internal/sqldb/storage"
+)
+
+// withCaching runs f under the given cache mode, restoring the previous
+// mode afterwards.
+func withCaching(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := SetCaching(on)
+	defer SetCaching(prev)
+	f()
+}
+
+func TestParseCachedInternsPerText(t *testing.T) {
+	withCaching(t, true, func() {
+		sql := "SELECT a, b FROM intern_test WHERE a = ? -- TestParseCachedInternsPerText"
+		calls0 := sqlparse.ParseCalls()
+		st1, err := ParseCached(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := ParseCached(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1 != st2 {
+			t.Fatalf("interner returned distinct ASTs for the same text")
+		}
+		if d := sqlparse.ParseCalls() - calls0; d != 1 {
+			t.Fatalf("parser ran %d times for one distinct text, want 1", d)
+		}
+	})
+}
+
+func TestParseCachedInternsErrors(t *testing.T) {
+	withCaching(t, true, func() {
+		sql := "SELEC bogus -- TestParseCachedInternsErrors"
+		calls0 := sqlparse.ParseCalls()
+		if _, err := ParseCached(sql); err == nil {
+			t.Fatal("want parse error")
+		}
+		if _, err := ParseCached(sql); err == nil {
+			t.Fatal("want parse error on repeat")
+		}
+		if d := sqlparse.ParseCalls() - calls0; d != 1 {
+			t.Fatalf("malformed text parsed %d times, want 1", d)
+		}
+	})
+}
+
+func TestParseCachingDisabledParsesEveryCall(t *testing.T) {
+	withCaching(t, false, func() {
+		sql := "SELECT a FROM nocache_test -- TestParseCachingDisabledParsesEveryCall"
+		calls0 := sqlparse.ParseCalls()
+		for i := 0; i < 3; i++ {
+			if _, err := ParseCached(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := sqlparse.ParseCalls() - calls0; d != 3 {
+			t.Fatalf("disabled interner parsed %d times, want 3", d)
+		}
+	})
+}
+
+// TestAppendValueMatchesFormat pins the hash encoding to sqldb.Format:
+// the byte encoding defines DISTINCT/GROUP BY row equality, so it must
+// stay exactly the formatted representation.
+func TestAppendValueMatchesFormat(t *testing.T) {
+	vals := []sqldb.Value{
+		nil, int64(0), int64(-42), int64(math.MaxInt64),
+		0.0, -1.5, 3.1415926535, math.MaxFloat64, float64(7),
+		"", "plain", "with'quote", "tab\tand\nnewline", "\x1funit",
+		true, false,
+	}
+	for _, v := range vals {
+		got := string(appendValue(nil, v))
+		want := sqldb.Format(v)
+		if got != want {
+			t.Errorf("appendValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRowSetDedupAndOrder(t *testing.T) {
+	rows := [][]sqldb.Value{
+		{int64(1), "a"},
+		{int64(2), "b"},
+		{int64(1), "a"}, // dup of row 0
+		{int64(1), "b"},
+		{int64(2), "b"}, // dup of row 1
+	}
+	out := distinctRows(rows)
+	want := [][]sqldb.Value{rows[0], rows[1], rows[3]}
+	if len(out) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if &out[i][0] != &want[i][0] {
+			t.Errorf("row %d: first occurrence not preserved", i)
+		}
+	}
+}
+
+// seedStore builds a store with one indexed table for cache tests.
+func seedStore(t *testing.T) *storage.Store {
+	t.Helper()
+	store := storage.NewStore()
+	store.Lock()
+	defer store.Unlock()
+	tbl, err := store.CreateTable("kv", []storage.Column{
+		{Name: "id", Type: sqldb.TypeInt, PrimaryKey: true},
+		{Name: "v", Type: sqldb.TypeText},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := tbl.Insert(storage.Row{int64(i), fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func TestCacheHitsAndEpochInvalidation(t *testing.T) {
+	withCaching(t, true, func() {
+		store := seedStore(t)
+		cache := NewCache(store)
+		sql := "SELECT id, v FROM kv WHERE v = ?"
+		st, err := ParseCached(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Lock()
+		p1 := cache.Prepare(sql, st)
+		p2 := cache.Prepare(sql, st)
+		store.Unlock()
+		if p1 != p2 {
+			t.Fatal("repeat Prepare did not hit the cache")
+		}
+		if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+			t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+		}
+
+		// DDL bumps the epoch: the cached plan must recompile.
+		store.Lock()
+		tbl, _ := store.Table("kv")
+		if err := tbl.AddIndex("v", false); err != nil {
+			t.Fatal(err)
+		}
+		p3 := cache.Prepare(sql, st)
+		store.Unlock()
+		if p3 == p1 {
+			t.Fatal("stale plan survived a schema-epoch bump")
+		}
+		if s := cache.Stats(); s.Invalidations != 1 {
+			t.Fatalf("stats = %+v, want 1 invalidation", s)
+		}
+
+		// The recompiled plan uses the new index: an equality lookup on v
+		// scans one row instead of four.
+		rs, err := p3.Select.lockedExec(store, []sqldb.Value{"v3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.RowsScanned != 1 {
+			t.Fatalf("post-DDL plan scanned %d rows, want 1 (index lookup)", rs.RowsScanned)
+		}
+		old, err := p1.Select.lockedExec(store, []sqldb.Value{"v3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old.RowsScanned != 4 {
+			t.Fatalf("pre-DDL plan scanned %d rows, want 4 (full scan)", old.RowsScanned)
+		}
+	})
+}
+
+// lockedExec is a test helper running a plan under the store lock.
+func (p *SelectPlan) lockedExec(store *storage.Store, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	store.Lock()
+	defer store.Unlock()
+	return p.Exec(args)
+}
+
+func TestCacheDisabledCompilesEveryCall(t *testing.T) {
+	withCaching(t, false, func() {
+		store := seedStore(t)
+		cache := NewCache(store)
+		sql := "SELECT id FROM kv WHERE id = ?"
+		st, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Lock()
+		p1 := cache.Prepare(sql, st)
+		p2 := cache.Prepare(sql, st)
+		store.Unlock()
+		if p1 == p2 {
+			t.Fatal("disabled cache returned a shared plan")
+		}
+		if s := cache.Stats(); s.Hits != 0 || s.Misses != 2 {
+			t.Fatalf("stats = %+v, want 0 hits / 2 misses", s)
+		}
+	})
+}

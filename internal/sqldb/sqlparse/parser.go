@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // ParseError reports a syntax error with position context.
@@ -16,8 +17,17 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("sql: parse error at %d: %s", e.Pos, e.Msg)
 }
 
+// parseCalls counts Parse invocations. The prepared-plan layer memoizes
+// parsing per distinct SQL text; tests assert the parse-once property by
+// comparing ParseCalls deltas against the plan layer's miss counter.
+var parseCalls atomic.Int64
+
+// ParseCalls reports how many times Parse has run in this process.
+func ParseCalls() int64 { return parseCalls.Load() }
+
 // Parse parses a single SQL statement. A trailing semicolon is permitted.
 func Parse(input string) (Statement, error) {
+	parseCalls.Add(1)
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err

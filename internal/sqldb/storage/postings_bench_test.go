@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// benchTable builds a table with an indexed fk column carrying fanout rows
+// per key — the shape the merge optimizer's IN-list lookups hit.
+func benchTable(b *testing.B, keys, fanout int) *Table {
+	b.Helper()
+	t, err := NewTable("bench", []Column{
+		{Name: "id", Type: sqldb.TypeInt, PrimaryKey: true},
+		{Name: "fk", Type: sqldb.TypeInt},
+		{Name: "v", Type: sqldb.TypeText},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := t.AddIndex("fk", false); err != nil {
+		b.Fatal(err)
+	}
+	id := int64(1)
+	for k := 0; k < keys; k++ {
+		for f := 0; f < fanout; f++ {
+			if _, err := t.Insert(Row{id, int64(k), fmt.Sprintf("row-%d", id)}); err != nil {
+				b.Fatal(err)
+			}
+			id++
+		}
+	}
+	return t
+}
+
+// BenchmarkIndexInsert measures per-row index maintenance cost (PK plus one
+// secondary index).
+func BenchmarkIndexInsert(b *testing.B) {
+	t := benchTable(b, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Insert(Row{int64(i + 1), int64(i % 64), "v"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexLookup measures a secondary-index point lookup returning a
+// moderate posting list, the engine's hottest access path.
+func BenchmarkIndexLookup(b *testing.B) {
+	t := benchTable(b, 64, 16)
+	ord, _ := t.ColOrdinal("fk")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := t.Lookup(ord, int64(i%64))
+		if len(ids) != 16 {
+			b.Fatalf("got %d ids", len(ids))
+		}
+	}
+}
+
+// BenchmarkIndexUpdate measures updating an indexed column (remove + add on
+// two indexes).
+func BenchmarkIndexUpdate(b *testing.B) {
+	t := benchTable(b, 64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := RowID(i%(64*16) + 1)
+		row, _ := t.Get(id)
+		row[1] = int64((i + 1) % 64)
+		if _, err := t.Update(id, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb"
 )
@@ -47,10 +48,18 @@ type Table struct {
 	rows   map[RowID]Row
 	nextID RowID
 
-	// indexes maps column ordinal -> value -> set of row ids. The primary
-	// key column always has an index.
-	indexes map[int]map[sqldb.Value]map[RowID]struct{}
+	// indexes maps column ordinal -> value -> posting list of row ids,
+	// kept sorted ascending. The primary key column always has an index.
+	// Slice postings replaced the earlier map[RowID]struct{} sets: row ids
+	// are assigned in increasing order, so maintenance is an O(1) append in
+	// the common case, and Lookup no longer sorts or allocates.
+	indexes map[int]map[sqldb.Value][]RowID
 	unique  map[int]bool
+
+	// schemaChanged, when set by the owning Store, is invoked on DDL against
+	// this table (AddIndex) so the store's schema epoch advances and cached
+	// query plans recompile.
+	schemaChanged func()
 }
 
 // NewTable builds an empty table from column definitions.
@@ -65,7 +74,7 @@ func NewTable(name string, cols []Column) (*Table, error) {
 		pkCol:    -1,
 		rows:     make(map[RowID]Row),
 		nextID:   1,
-		indexes:  make(map[int]map[sqldb.Value]map[RowID]struct{}),
+		indexes:  make(map[int]map[sqldb.Value][]RowID),
 		unique:   make(map[int]bool),
 	}
 	for i, c := range cols {
@@ -82,7 +91,7 @@ func NewTable(name string, cols []Column) (*Table, error) {
 		}
 	}
 	if t.pkCol >= 0 {
-		t.indexes[t.pkCol] = make(map[sqldb.Value]map[RowID]struct{})
+		t.indexes[t.pkCol] = make(map[sqldb.Value][]RowID)
 		t.unique[t.pkCol] = true
 	}
 	return t, nil
@@ -116,7 +125,7 @@ func (t *Table) AddIndex(col string, unique bool) error {
 	if _, exists := t.indexes[i]; exists {
 		return fmt.Errorf("storage: table %q: column %q already indexed", t.Name, col)
 	}
-	idx := make(map[sqldb.Value]map[RowID]struct{})
+	idx := make(map[sqldb.Value][]RowID)
 	for id, row := range t.rows {
 		v := row[i]
 		if unique && v != nil && len(idx[v]) > 0 {
@@ -126,31 +135,51 @@ func (t *Table) AddIndex(col string, unique bool) error {
 	}
 	t.indexes[i] = idx
 	t.unique[i] = unique
+	if t.schemaChanged != nil {
+		t.schemaChanged()
+	}
 	return nil
 }
 
-func addToIndex(idx map[sqldb.Value]map[RowID]struct{}, v sqldb.Value, id RowID) {
+func addToIndex(idx map[sqldb.Value][]RowID, v sqldb.Value, id RowID) {
 	if v == nil {
 		return // NULLs are not indexed, matching common SQL behaviour
 	}
-	set, ok := idx[v]
-	if !ok {
-		set = make(map[RowID]struct{})
-		idx[v] = set
+	ids := idx[v]
+	// Row ids are assigned in increasing order, so the common case is an
+	// append that keeps the posting list sorted; out-of-order restores
+	// (transaction rollback) insert at the right position.
+	if n := len(ids); n == 0 || ids[n-1] < id {
+		idx[v] = append(ids, id)
+		return
 	}
-	set[id] = struct{}{}
+	pos := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	if pos < len(ids) && ids[pos] == id {
+		return
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	idx[v] = ids
 }
 
-func removeFromIndex(idx map[sqldb.Value]map[RowID]struct{}, v sqldb.Value, id RowID) {
+func removeFromIndex(idx map[sqldb.Value][]RowID, v sqldb.Value, id RowID) {
 	if v == nil {
 		return
 	}
-	if set, ok := idx[v]; ok {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(idx, v)
-		}
+	ids, ok := idx[v]
+	if !ok {
+		return
 	}
+	pos := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	if pos >= len(ids) || ids[pos] != id {
+		return
+	}
+	if len(ids) == 1 {
+		delete(idx, v)
+		return
+	}
+	idx[v] = append(ids[:pos], ids[pos+1:]...)
 }
 
 // Insert validates, coerces, and stores a row, returning its id.
@@ -245,19 +274,15 @@ func (t *Table) Update(id RowID, vals Row) (Row, error) {
 }
 
 // Lookup returns the ids of rows whose indexed column i equals v, in
-// ascending id order for determinism.
+// ascending id order for determinism. The returned slice aliases the
+// index's posting list: it is valid until the next mutation of the table
+// and must not be modified by the caller.
 func (t *Table) Lookup(i int, v sqldb.Value) []RowID {
 	idx, ok := t.indexes[i]
 	if !ok {
 		return nil
 	}
-	set := idx[sqldb.Normalize(v)]
-	ids := make([]RowID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return ids
+	return idx[sqldb.Normalize(v)]
 }
 
 // Scan calls fn for every live row in ascending id order. The row passed to
@@ -282,6 +307,11 @@ func (t *Table) Scan(fn func(RowID, Row) bool) {
 type Store struct {
 	mu     sync.Mutex
 	tables map[string]*Table
+
+	// epoch counts schema changes (CREATE TABLE, CREATE INDEX). The
+	// prepared-plan cache keys compiled plans by (SQL text, epoch): a DDL
+	// statement bumps the epoch, invalidating every cached plan lazily.
+	epoch atomic.Uint64
 }
 
 // NewStore creates an empty store.
@@ -295,7 +325,12 @@ func (s *Store) Lock() { s.mu.Lock() }
 // Unlock releases the store mutex.
 func (s *Store) Unlock() { s.mu.Unlock() }
 
-// CreateTable registers a new table. The caller must hold the lock.
+// Epoch reports the store's schema epoch. It is safe to read without the
+// store lock.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// CreateTable registers a new table and bumps the schema epoch. The caller
+// must hold the lock.
 func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	key := strings.ToLower(name)
 	if _, exists := s.tables[key]; exists {
@@ -305,7 +340,9 @@ func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.schemaChanged = func() { s.epoch.Add(1) }
 	s.tables[key] = t
+	s.epoch.Add(1)
 	return t, nil
 }
 
