@@ -8,48 +8,116 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 )
 
+// options carries every flag into run.
+type options struct {
+	exp       string
+	rtt       time.Duration
+	txns      int
+	reps      int
+	mergeOn   bool
+	eqOnly    bool
+	kind      dispatch.Kind
+	kindSet   bool
+	sessions  int
+	workers   int
+	visits    bool
+	hostReps  int
+	hostOut   string
+	traceOut  string
+	debugAddr string
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|hosttime|all")
-	rtt := flag.Duration("rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
-	overheadTxns := flag.Int("txns", 500, "transactions per Fig. 13 workload")
-	ablationReps := flag.Int("reps", 25, "repetitions per Fig. 12 configuration")
-	mergeOn := flag.Bool("merge", false, "enable the batch query-merge optimizer for suite experiments")
+	var o options
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|hosttime|trace|all")
+	flag.DurationVar(&o.rtt, "rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
+	flag.IntVar(&o.txns, "txns", 500, "transactions per Fig. 13 workload")
+	flag.IntVar(&o.reps, "reps", 25, "repetitions per Fig. 12 configuration")
+	flag.BoolVar(&o.mergeOn, "merge", false, "enable the batch query-merge optimizer for suite experiments")
 	families := flag.String("families", "all", "merge families when -merge is set: all (equality+aggregate+range) | eq (equality only, the PR 1 baseline)")
 	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
-	sessions := flag.Int("sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
-	workers := flag.Int("workers", 0, "server DB worker queues for -exp throughput (0 = sweep 1,4)")
-	visits := flag.Bool("visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
-	hostReps := flag.Int("hostreps", 3, "measured replays per cache mode for -exp hosttime")
-	hostOut := flag.String("hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
+	flag.IntVar(&o.sessions, "sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
+	flag.IntVar(&o.workers, "workers", 0, "server DB worker queues for -exp throughput (0 = sweep 1,4)")
+	flag.BoolVar(&o.visits, "visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
+	flag.IntVar(&o.hostReps, "hostreps", 3, "measured replays per cache mode for -exp hosttime")
+	flag.StringVar(&o.hostOut, "hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
+	flag.StringVar(&o.traceOut, "traceout", "BENCH_trace.json", "Chrome trace-event JSON path for -exp trace (empty disables; load in Perfetto or chrome://tracing)")
+	flag.StringVar(&o.debugAddr, "debugaddr", "", "serve net/http/pprof and expvar (unified metrics under /debug/vars key \"sloth\") on this address, e.g. localhost:6060 (empty disables)")
 	flag.Parse()
 
-	kind, ok := dispatch.ParseKind(*dispatchFlag)
+	var ok bool
+	o.kind, ok = dispatch.ParseKind(*dispatchFlag)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "slothbench: unknown -dispatch %q\n", *dispatchFlag)
 		os.Exit(1)
 	}
+	o.kindSet = *dispatchFlag != ""
 
 	if *families != "all" && *families != "eq" {
 		fmt.Fprintf(os.Stderr, "slothbench: unknown -families %q (want all or eq)\n", *families)
 		os.Exit(1)
 	}
+	o.eqOnly = *families == "eq"
 
-	if err := run(*exp, *rtt, *overheadTxns, *ablationReps, *mergeOn, *families == "eq", kind, *dispatchFlag != "", *sessions, *workers, *visits, *hostReps, *hostOut); err != nil {
+	if o.debugAddr != "" {
+		if err := serveDebug(o.debugAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "slothbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, kind dispatch.Kind, kindSet bool, sessions, workers int, visits bool, hostReps int, hostOut string) error {
+// serveDebug starts the diagnostics endpoint: net/http/pprof's handlers on
+// the default mux plus an expvar key publishing the current unified metrics
+// registry, so a long throughput or hosttime run can be profiled and its
+// counters watched live (`go tool pprof host:port/debug/pprof/profile`,
+// `curl host:port/debug/vars`).
+func serveDebug(addr string) error {
+	expvar.Publish("sloth", expvar.Func(func() any {
+		if r := obs.Current(); r != nil {
+			return r.Snapshot()
+		}
+		return nil
+	}))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debugaddr: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "slothbench: debug endpoint on http://%s/debug/pprof and /debug/vars\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "slothbench: debug server:", err)
+		}
+	}()
+	return nil
+}
+
+func run(o options) error {
+	exp, rtt := o.exp, o.rtt
+	txns, reps := o.txns, o.reps
+	mergeOn, eqOnly := o.mergeOn, o.eqOnly
+	kind, kindSet := o.kind, o.kindSet
+	sessions, workers, visits := o.sessions, o.workers, o.visits
+	hostReps, hostOut := o.hostReps, o.hostOut
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
 		build := func() (*bench.Env, error) {
@@ -253,6 +321,17 @@ func run(exp string, rtt time.Duration, txns, reps int, mergeOn, eqOnly bool, ki
 			if rep.Speedup < 1.5 {
 				return fmt.Errorf("hosttime: plan-cache speedup %.2fx below the 1.5x floor", rep.Speedup)
 			}
+			if rep.TraceOverhead > 1.02 {
+				return fmt.Errorf("hosttime: disabled-tracer overhead %.1f%% above the 2%% ceiling", (rep.TraceOverhead-1)*100)
+			}
+			return nil
+		},
+		"trace": func() error {
+			rep, err := bench.TraceSuite(bench.TraceOptions{RTT: rtt, Out: o.traceOut})
+			if err != nil {
+				return err
+			}
+			fmt.Print(rep.Format())
 			return nil
 		},
 	}

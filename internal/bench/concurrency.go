@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/orm"
 	"repro/internal/querystore"
 )
@@ -69,6 +70,15 @@ type ConcurrencyRow struct {
 	Makespan        time.Duration // max session virtual time
 	Rate            float64       // pages per simulated second
 	AvgPage         time.Duration // mean page latency across sessions
+
+	// P50/P95/P99 are page-latency percentiles from the unified metrics
+	// registry's page.latency histogram (per-load virtual-clock deltas, so
+	// the tail is visible, not just the mean). QW95 is the 95th-percentile
+	// batch queue wait for DB worker capacity.
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	QW95 time.Duration
 
 	DBStmts   int64         // statements executed at the database
 	DBTime    time.Duration // server busy time
@@ -149,6 +159,15 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, 
 		return ConcurrencyRow{}, err
 	}
 	env.Srv.SetWorkers(workers)
+	// Unified metrics: a fresh registry per cell (counts never leak between
+	// configurations), published as the process-wide current registry so a
+	// -debugaddr expvar endpoint shows the live cell. The server feeds the
+	// db.* counters and the queue-wait histogram; the replay loop feeds
+	// page.latency below.
+	reg := obs.NewRegistry()
+	obs.SetCurrent(reg)
+	env.Srv.SetMetrics(reg)
+	pageLat := reg.Histogram("page.latency")
 	row := ConcurrencyRow{Kind: kind, PipelinedWrites: pipelineWrites, Sessions: n, Workers: workers}
 	pages := opts.Pages
 	if len(pages) == 0 {
@@ -219,6 +238,7 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, 
 				// The identity map is per request: clear between pages so
 				// every load re-fetches, like a fresh ORM session.
 				sessions[i].Clear()
+				pageStart := clocks[i].Now()
 				if _, err := env.LoadInto(page, sessions[i]); err != nil {
 					fail(fmt.Errorf("session %d page %q: %w", i, page, err))
 					return
@@ -233,6 +253,11 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, 
 						fail(fmt.Errorf("session %d page %q visit: %w", i, page, err))
 					}
 				}
+				// Per-load latency on the session's own virtual clock
+				// (including the visit write — it is part of the handler).
+				// Histogram buckets are order-independent counters, so
+				// concurrent observations stay deterministic.
+				pageLat.Observe(clocks[i].Now() - pageStart)
 			}(i)
 		}
 		wg.Wait()
@@ -278,6 +303,10 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, 
 	row.DBTime = srv.DBTime
 	row.QueueWait = srv.QueueWait
 	row.Overlap = overlap
+	row.P50 = pageLat.Quantile(0.50)
+	row.P95 = pageLat.Quantile(0.95)
+	row.P99 = pageLat.Quantile(0.99)
+	row.QW95 = reg.Histogram("db.queue_wait").Quantile(0.95)
 	if hub != nil {
 		hs := hub.Stats()
 		row.Windows = hs.Windows
@@ -291,17 +320,20 @@ func (r ConcurrencyReport) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== Throughput: %d-page %s suite, concurrent sessions, rtt %v ==\n",
 		pagesPerRow(r), r.App, r.RTT)
-	fmt.Fprintf(&sb, "%8s %10s %7s %10s %12s %12s %9s %11s %11s %10s\n",
-		"sessions", "dispatch", "workers", "pages/s", "avg page", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
+	fmt.Fprintf(&sb, "%8s %10s %7s %10s %12s %10s %10s %10s %12s %9s %11s %11s %10s\n",
+		"sessions", "dispatch", "workers", "pages/s", "p50 page", "p95", "p99", "qw p95", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
 	last := -1
 	for _, row := range r.Rows {
 		if last != -1 && row.Sessions != last {
 			sb.WriteByte('\n')
 		}
 		last = row.Sessions
-		fmt.Fprintf(&sb, "%8d %10s %7d %10.1f %12v %12v %9d %11v %11v %10d\n",
+		fmt.Fprintf(&sb, "%8d %10s %7d %10.1f %12v %10v %10v %10v %12v %9d %11v %11v %10d\n",
 			row.Sessions, row.Strategy(), row.Workers, row.Rate,
-			row.AvgPage.Round(time.Microsecond),
+			row.P50.Round(time.Microsecond),
+			row.P95.Round(time.Microsecond),
+			row.P99.Round(time.Microsecond),
+			row.QW95.Round(time.Microsecond),
 			row.Makespan.Round(10*time.Microsecond),
 			row.DBStmts,
 			row.QueueWait.Round(time.Microsecond),

@@ -108,7 +108,11 @@ func (e *Env) newHub(rtt time.Duration, cfg querystore.Config) *dispatch.Hub {
 	if cfg.Merge.Enabled {
 		stages = append(stages, dispatch.MergeStage(merge.New(cfg.Merge)))
 	}
-	return dispatch.NewHub(conn, 0, stages...)
+	hub := dispatch.NewHub(conn, 0, stages...)
+	if cfg.Trace != nil {
+		hub.SetTracer(cfg.Trace, "hub")
+	}
+	return hub
 }
 
 // LoadInto replays one page into an existing session — the concurrent

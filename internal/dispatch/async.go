@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -106,8 +107,8 @@ func (a *Async) worker() {
 		if !ok {
 			return
 		}
-		out, demux, ss := applyStages(a.stages, t.stmts)
-		results, done, err := a.conn.ExecBatchAt(t.arrival, out)
+		out, demux, ss := applyStagesTraced(t.ctx, t.arrival, a.stages, t.stmts)
+		results, done, err := a.conn.ExecBatchCtx(t.ctx, t.arrival, out)
 		if err == nil && demux != nil {
 			results, err = demux(results)
 		}
@@ -124,8 +125,14 @@ func (a *Async) worker() {
 // the old closed-channel send did) rather than handing back a ticket no
 // worker will ever complete.
 func (a *Async) Submit(stmts []driver.Stmt) *Ticket {
+	return a.SubmitCtx(obs.Ctx{}, stmts)
+}
+
+// SubmitCtx is Submit with a span context; the worker parents the batch's
+// execution spans under it when it reaches the ticket.
+func (a *Async) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 	a.box.addSubmit(len(stmts))
-	t := &Ticket{stmts: stmts, arrival: a.clock.Now(), done: make(chan struct{})}
+	t := &Ticket{stmts: stmts, arrival: a.clock.Now(), ctx: ctx, done: make(chan struct{})}
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()

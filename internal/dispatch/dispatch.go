@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/sqlparse"
 )
@@ -102,6 +103,11 @@ type Ticket struct {
 	stmts   []driver.Stmt
 	arrival time.Duration // session virtual time at Submit
 
+	// ctx is the span context this batch's execution spans parent under
+	// (the submitting flush). It is an immutable value captured at Submit,
+	// so the async worker and the shared hub read it race-free.
+	ctx obs.Ctx
+
 	done chan struct{} // closed when results/err/completeAt are final
 
 	// Owned by the executing goroutine until done is closed.
@@ -127,6 +133,15 @@ type Dispatcher interface {
 	Deferred() bool
 	Stats() Stats
 	Close()
+}
+
+// CtxSubmitter is the optional tracing extension of Dispatcher: SubmitCtx
+// is Submit with a span context under which the batch's pipeline and
+// execution spans record. All three built-in strategies implement it; the
+// query store type-asserts, so caller-built Dispatchers without it keep
+// working untraced.
+type CtxSubmitter interface {
+	SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket
 }
 
 // Stats counts dispatcher activity.
@@ -229,6 +244,24 @@ func applyStages(stages []Stage, stmts []driver.Stmt) ([]driver.Stmt, Demux, Sta
 		return results, nil
 	}
 	return out, demux, total
+}
+
+// applyStagesTraced is applyStages plus a zero-width "merge" span at the
+// batch's virtual submit time recording what the pipeline rewrite did
+// (statements in/out, eliminated, merged groups). The rewrite itself takes
+// no virtual time — it happens inside the driver round trip the paper's
+// extended driver already pays for — so the span is an annotation, not a
+// duration.
+func applyStagesTraced(ctx obs.Ctx, at time.Duration, stages []Stage, stmts []driver.Stmt) ([]driver.Stmt, Demux, StageStats) {
+	out, demux, ss := applyStages(stages, stmts)
+	if len(stages) > 0 && ctx.Enabled() {
+		ctx.Instant("merge", "rewrite", at,
+			obs.Arg{K: "in", V: len(stmts)},
+			obs.Arg{K: "out", V: len(out)},
+			obs.Arg{K: "saved", V: ss.Saved},
+			obs.Arg{K: "groups", V: ss.Groups})
+	}
+	return out, demux, ss
 }
 
 // containsWrite reports whether any statement in the batch mutates state

@@ -6,6 +6,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/merge"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -51,6 +52,14 @@ type Hub struct {
 
 	box statsBox
 
+	// tr/track are the hub's tracer and exporter track (SetTracer),
+	// guarded by box.mu like the window state. A window is a hub-level
+	// event with many contributing sessions, so its span is a root on the
+	// hub's own track; each contributing batch additionally records an
+	// entry span under its session's flush context.
+	tr    *obs.Tracer
+	track string
+
 	// Window state, guarded by box.mu (closes hold it across execution so
 	// a closing session acts for everyone racing it).
 	open      *window         // the accumulating window (expected == 0)
@@ -88,6 +97,15 @@ func NewHub(conn *driver.Conn, cap int, stages ...Stage) *Hub {
 // Stats snapshots hub-level counters (windows closed, statements coalesced
 // across sessions, statements actually executed).
 func (h *Hub) Stats() Stats { return h.box.snapshot() }
+
+// SetTracer attaches a tracer for window spans on the given exporter
+// track. Call it before sessions start submitting.
+func (h *Hub) SetTracer(tr *obs.Tracer, track string) {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.tr = tr
+	h.track = track
+}
 
 // SetWindow configures the virtual-time accumulation policy: with
 // `expected` > 0 (typically the number of concurrent sessions), each
@@ -156,7 +174,7 @@ func (h *Hub) add(t *Ticket, owner *Shared) {
 	if h.open.stmts >= h.cap {
 		w := h.open
 		h.open = nil
-		h.closeWindowLocked(w)
+		h.closeWindowLocked(w, -1)
 	}
 }
 
@@ -170,9 +188,10 @@ func (h *Hub) closeReadyLocked() {
 		if w == nil || len(w.entries) < h.expected {
 			return
 		}
-		delete(h.gens, h.nextClose)
+		gen := h.nextClose
+		delete(h.gens, gen)
 		h.nextClose++
-		h.closeWindowLocked(w)
+		h.closeWindowLocked(w, gen)
 	}
 }
 
@@ -206,7 +225,7 @@ func (h *Hub) CloseWindow() {
 	defer h.box.mu.Unlock()
 	if w := h.open; w != nil {
 		h.open = nil
-		h.closeWindowLocked(w)
+		h.closeWindowLocked(w, -1)
 	}
 	// Close open generations lowest-first by scanning the key set, not by
 	// counting up from nextClose: a session beyond the quorum (more
@@ -221,7 +240,7 @@ func (h *Hub) CloseWindow() {
 		}
 		w := h.gens[lowest]
 		delete(h.gens, lowest)
-		h.closeWindowLocked(w)
+		h.closeWindowLocked(w, lowest)
 	}
 	h.nextClose = 0
 	if h.nextGen != nil {
@@ -230,7 +249,9 @@ func (h *Hub) CloseWindow() {
 }
 
 // closeWindowLocked coalesces, executes, and demultiplexes one window.
-func (h *Hub) closeWindowLocked(w *window) {
+// gen is the quorum generation being closed, or -1 for demand- and
+// cap-triggered closes (the quorum-less policies have no generations).
+func (h *Hub) closeWindowLocked(w *window, gen int) {
 	entries := w.entries
 	if len(entries) == 0 {
 		return
@@ -274,11 +295,25 @@ func (h *Hub) closeWindowLocked(w *window) {
 		}
 	}
 
-	out, demux, ss := applyStages(h.stages, combined)
-	results, done, err := h.conn.ExecBatchAt(arrival, out)
+	// The window span is a root on the hub's own track: a window belongs
+	// to every contributing session at once, so it cannot live under any
+	// single page tree. It spans first contribution to completion; the
+	// combined batch's execution spans parent under it.
+	var wctx obs.Ctx
+	if h.tr.Enabled() {
+		wctx = h.tr.Root(h.track, "window", "window", entries[0].t.arrival,
+			obs.Arg{K: "gen", V: gen},
+			obs.Arg{K: "entries", V: len(entries)},
+			obs.Arg{K: "stmts_in", V: totalIn},
+			obs.Arg{K: "coalesced", V: totalIn - len(combined)})
+	}
+
+	out, demux, ss := applyStagesTraced(wctx, arrival, h.stages, combined)
+	results, done, err := h.conn.ExecBatchCtx(wctx, arrival, out)
 	if err == nil && demux != nil {
 		results, err = demux(results)
 	}
+	wctx.End(done)
 
 	// Window-level accounting: attempts (Windows, Coalesced, StmtsOut) and
 	// errors count explicitly, so a failed window is visible rather than
@@ -307,6 +342,15 @@ func (h *Hub) closeWindowLocked(w *window) {
 	for k, e := range entries {
 		t := e.t
 		t.completeAt = done
+		// The entry span lives in the session's own page tree (under its
+		// flush context): this batch rode a shared window from its submit
+		// to the window's completion, coalescing hits statements.
+		if t.ctx.Enabled() {
+			t.ctx.Child("window", "entry", t.arrival,
+				obs.Arg{K: "gen", V: gen},
+				obs.Arg{K: "intro", V: e.intro},
+				obs.Arg{K: "hits", V: len(t.stmts) - e.intro}).End(done)
+		}
 		t.bs = BatchStats{
 			Sent:          e.intro,
 			SharedHits:    len(t.stmts) - e.intro,
@@ -424,8 +468,15 @@ func (s *Shared) Hub() *Hub { return s.hub }
 // connection. Both return in session virtual time (completion is paid at
 // Wait).
 func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
+	return s.SubmitCtx(obs.Ctx{}, stmts)
+}
+
+// SubmitCtx is Submit with a span context: window entries record under it
+// when their window closes, write barriers record their execution spans
+// directly.
+func (s *Shared) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 	s.box.addSubmit(len(stmts))
-	t := &Ticket{stmts: stmts, arrival: s.clock.Now(), done: make(chan struct{})}
+	t := &Ticket{stmts: stmts, arrival: s.clock.Now(), ctx: ctx, done: make(chan struct{})}
 	if !containsWrite(stmts) {
 		s.lastWindow = t
 		s.hub.add(t, s)
@@ -443,8 +494,8 @@ func (s *Shared) Submit(stmts []driver.Stmt) *Ticket {
 			s.hub.waitForTicket(lw)
 		}
 	}
-	out, demux, ss := applyStages(s.stages, stmts)
-	results, done, err := s.conn.ExecBatchAt(t.arrival, out)
+	out, demux, ss := applyStagesTraced(ctx, t.arrival, s.stages, stmts)
+	results, done, err := s.conn.ExecBatchCtx(ctx, t.arrival, out)
 	if err == nil && demux != nil {
 		results, err = demux(results)
 	}

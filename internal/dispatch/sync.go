@@ -2,6 +2,8 @@ package dispatch
 
 import (
 	"repro/internal/driver"
+	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -22,12 +24,25 @@ func NewSync(conn *driver.Conn, stages ...Stage) *Sync {
 
 // Submit executes the batch now; the returned ticket is already complete.
 func (s *Sync) Submit(stmts []driver.Stmt) *Ticket {
+	return s.SubmitCtx(obs.Ctx{}, stmts)
+}
+
+// SubmitCtx is Submit with a span context for the batch's pipeline and
+// execution spans. The blocking clock advance is unchanged from the
+// untraced path: ExecBatch is exactly ExecBatchCtx at now plus AdvanceTo
+// on success.
+func (s *Sync) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 	s.box.addSubmit(len(stmts))
-	t := &Ticket{stmts: stmts}
-	out, demux, ss := applyStages(s.stages, stmts)
-	results, err := s.conn.ExecBatch(out)
-	if err == nil && demux != nil {
-		results, err = demux(results)
+	t := &Ticket{stmts: stmts, ctx: ctx}
+	clock := s.conn.Clock()
+	now := clock.Now()
+	out, demux, ss := applyStagesTraced(ctx, now, s.stages, stmts)
+	results, done, err := s.conn.ExecBatchCtx(ctx, now, out)
+	if err == nil {
+		netsim.AdvanceTo(clock, done)
+		if demux != nil {
+			results, err = demux(results)
+		}
 	}
 	t.results, t.err = results, err
 	t.bs = batchStats(len(out), ss)

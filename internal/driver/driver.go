@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/engine"
 	"repro/internal/sqldb/plan"
@@ -143,6 +144,16 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats ServerStats
+	// met holds the optional live-metrics instruments (SetMetrics): the
+	// unified registry's view of the same accounting ServerStats keeps,
+	// plus the queue-wait distribution that scalar QueueWait cannot carry.
+	met struct {
+		batches   *obs.Counter
+		stmts     *obs.Counter
+		rows      *obs.Counter
+		timeNS    *obs.Counter
+		queueWait *obs.Histogram
+	}
 	// workers holds the busy horizon of each DB worker queue — the
 	// multi-queue occupancy model for concurrent sessions (the paper's
 	// server runs a pool of DB worker threads; SetWorkers sizes it). A batch
@@ -161,6 +172,24 @@ func NewServer(db *engine.DB, clock netsim.Clock, cost CostModel) *Server {
 
 // DB returns the underlying engine (for direct data loading in fixtures).
 func (s *Server) DB() *engine.DB { return s.db }
+
+// SetMetrics registers the server's live instruments into reg (nil
+// detaches): per-batch counters under "db.*" and the queue-wait
+// distribution histogram, so throughput reports and the expvar endpoint
+// read the same accounting ServerStats keeps.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg == nil {
+		s.met.batches, s.met.stmts, s.met.rows, s.met.timeNS, s.met.queueWait = nil, nil, nil, nil, nil
+		return
+	}
+	s.met.batches = reg.Counter("db.batches")
+	s.met.stmts = reg.Counter("db.stmts")
+	s.met.rows = reg.Counter("db.rows")
+	s.met.timeNS = reg.Counter("db.time_ns")
+	s.met.queueWait = reg.Histogram("db.queue_wait")
+}
 
 // SetWorkers sizes the DB worker pool to k queues (k < 1 selects 1),
 // resetting every queue's busy horizon and the per-worker stat
@@ -202,15 +231,32 @@ func (s *Server) ResetStats() {
 	s.stats = ServerStats{}
 }
 
+// stmtTrace is one statement's slot in a batch's server-time layout,
+// computed only when tracing: off/dur are relative to the batch's start on
+// its DB worker (the occupy start shifts them to absolute virtual time).
+type stmtTrace struct {
+	off  time.Duration
+	dur  time.Duration
+	path string
+	rows int64
+}
+
 // execBatch runs the statements for one connection. Writes and transaction
 // control execute serially in order; consecutive runs of read statements
 // execute "in parallel", costing the maximum member cost plus a dispatch
 // cost per statement (the behaviour of the extended driver in Sec. 5).
-func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
+// With traced set it additionally returns the per-statement layout
+// mirroring that cost math: reads start where their parallel group stood,
+// writes after the group they closed.
+func (s *Server) execBatch(sess *engine.Session, stmts []Stmt, traced bool) ([]*sqldb.ResultSet, time.Duration, []stmtTrace, error) {
 	results := make([]*sqldb.ResultSet, 0, len(stmts))
 	var total time.Duration
 	var parallelMax time.Duration
 	var rowsVisited int64
+	var layout []stmtTrace
+	if traced {
+		layout = make([]stmtTrace, 0, len(stmts))
+	}
 
 	flushParallel := func() {
 		total += parallelMax
@@ -223,20 +269,34 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 			var err error
 			parsed, err = plan.ParseCached(st.SQL)
 			if err != nil {
-				return nil, total, fmt.Errorf("driver: %w", err)
+				return nil, total, nil, fmt.Errorf("driver: %w", err)
 			}
 		}
 		rs, err := sess.ExecPrepared(st.SQL, parsed, st.Args)
 		if err != nil {
-			return nil, total, err
+			return nil, total, nil, err
 		}
 		cost := s.cost.queryCost(rs)
 		rowsVisited += int64(rs.RowsScanned)
 		if sqlparse.IsWrite(parsed) {
 			// Writes serialize: close the current parallel group first.
 			flushParallel()
+			if traced {
+				layout = append(layout, stmtTrace{
+					off: total, dur: cost,
+					path: sess.DescribeAccess(st.SQL, parsed),
+					rows: int64(rs.RowsScanned),
+				})
+			}
 			total += cost
 		} else {
+			if traced {
+				layout = append(layout, stmtTrace{
+					off: total, dur: cost,
+					path: sess.DescribeAccess(st.SQL, parsed),
+					rows: int64(rs.RowsScanned),
+				})
+			}
 			if cost > parallelMax {
 				parallelMax = cost
 			}
@@ -251,8 +311,12 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 	s.stats.Batches++
 	s.stats.Rows += rowsVisited
 	s.stats.DBTime += total
+	s.met.batches.Add(1)
+	s.met.stmts.Add(int64(len(stmts)))
+	s.met.rows.Add(rowsVisited)
+	s.met.timeNS.Add(int64(total))
 	s.mu.Unlock()
-	return results, total, nil
+	return results, total, layout, nil
 }
 
 // occupy reserves server capacity for a batch arriving at the given virtual
@@ -261,8 +325,8 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt) ([]*sqldb.ResultS
 // for a given call order), starts when that worker frees up, and extends
 // the worker's horizon by its cost. The wait is attributed to
 // ServerStats.QueueWait and the placement to WorkerBatches/WorkerBusy.
-// Returns the start time.
-func (s *Server) occupy(arrival, cost time.Duration) time.Duration {
+// Returns the start time and the chosen worker index.
+func (s *Server) occupy(arrival, cost time.Duration) (time.Duration, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	w := 0
@@ -283,7 +347,8 @@ func (s *Server) occupy(arrival, cost time.Duration) time.Duration {
 	s.stats.WorkerBatches[w]++
 	s.stats.WorkerBusy[w] += cost
 	s.stats.QueueWait += start - arrival
-	return start
+	s.met.queueWait.Observe(start - arrival)
+	return start, w
 }
 
 // Conn is a client connection: an engine session reached across a link.
@@ -297,6 +362,14 @@ type Conn struct {
 	clock netsim.Clock
 
 	queriesSent atomic.Int64
+
+	// traceCtx is the span context blocking calls (ExecBatch, Query)
+	// parent their execution spans under — the page root while a load is
+	// in flight. Owned by the session thread: only the session thread sets
+	// it and only the session-thread entry points read it, so the async
+	// worker (which always carries an explicit ticket context through
+	// ExecBatchCtx) never touches it.
+	traceCtx obs.Ctx
 }
 
 // Connect opens a connection to the server across link.
@@ -309,6 +382,13 @@ func (c *Conn) Link() *netsim.Link { return c.link }
 
 // Clock exposes the connection's virtual timeline (the link's clock).
 func (c *Conn) Clock() netsim.Clock { return c.clock }
+
+// SetTraceCtx installs the span context for this connection's blocking
+// executions (session thread only; see the field comment).
+func (c *Conn) SetTraceCtx(ctx obs.Ctx) { c.traceCtx = ctx }
+
+// TraceCtx returns the installed span context (session thread only).
+func (c *Conn) TraceCtx() obs.Ctx { return c.traceCtx }
 
 // QueriesSent reports how many statements this connection has shipped.
 func (c *Conn) QueriesSent() int64 { return c.queriesSent.Load() }
@@ -339,6 +419,17 @@ func (c *Conn) Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) 
 // waits, which is how app-server compute overlaps DB time on the virtual
 // clock.
 func (c *Conn) ExecBatchAt(arrival time.Duration, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
+	return c.ExecBatchCtx(obs.Ctx{}, arrival, stmts)
+}
+
+// ExecBatchCtx is ExecBatchAt with a span context: when ctx records, the
+// batch's round trip becomes an "exec" span under ctx holding the queue
+// wait (if the batch queued for a DB worker), the server execution on the
+// worker's own track with one child span per statement (laid out by the
+// parallel-group cost math, stamped with rows and access path), and the
+// link crossing. The virtual timeline is identical with tracing on or
+// off — spans observe the simulation, never perturb it.
+func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
 	if len(stmts) == 0 {
 		return nil, arrival, nil
 	}
@@ -349,8 +440,12 @@ func (c *Conn) ExecBatchAt(arrival time.Duration, stmts []Stmt) ([]*sqldb.Result
 			reqBytes += sqldb.SizeOf(a)
 		}
 	}
-	results, dbCost, err := c.srv.execBatch(c.sess, stmts)
+	traced := ctx.Enabled()
+	results, dbCost, layout, err := c.srv.execBatch(c.sess, stmts, traced)
 	if err != nil {
+		if traced {
+			ctx.Instant("error", "exec", arrival, obs.Arg{K: "err", V: err.Error()})
+		}
 		return nil, arrival, err
 	}
 	respBytes := 0
@@ -358,16 +453,40 @@ func (c *Conn) ExecBatchAt(arrival time.Duration, stmts []Stmt) ([]*sqldb.Result
 		respBytes += rs.WireSize()
 	}
 	netCost := c.link.Charge(reqBytes, respBytes)
-	start := c.srv.occupy(arrival, dbCost)
+	start, worker := c.srv.occupy(arrival, dbCost)
 	c.queriesSent.Add(int64(len(stmts)))
-	return results, start + dbCost + netCost, nil
+	done := start + dbCost + netCost
+	if traced {
+		ex := ctx.Child("exec", "batch", arrival, obs.Arg{K: "stmts", V: len(stmts)})
+		if start > arrival {
+			ex.Child("queue", "db-queue", arrival).End(start)
+		}
+		// The worker index decides only the exporter track (its Perfetto
+		// lane): the golden waterfall excludes tracks, so placement changes
+		// under different -workers settings never change the golden tree.
+		db := ex.ChildTrack(fmt.Sprintf("db-worker-%d", worker), "db", "batch", start,
+			obs.Arg{K: "stmts", V: len(stmts)})
+		for i := range layout {
+			lt := &layout[i]
+			db.Child("stmt", stmts[i].SQL, start+lt.off,
+				obs.Arg{K: "path", V: lt.path},
+				obs.Arg{K: "rows", V: lt.rows}).End(start + lt.off + lt.dur)
+		}
+		db.End(start + dbCost)
+		ex.Child("net", "link", start+dbCost,
+			obs.Arg{K: "req_b", V: reqBytes},
+			obs.Arg{K: "resp_b", V: respBytes}).End(done)
+		ex.End(done)
+	}
+	return results, done, nil
 }
 
 // ExecBatch ships all statements to the server in one round trip, blocks
 // until completion on the connection's timeline, and returns their result
-// sets in order — the Sloth batch driver.
+// sets in order — the Sloth batch driver. Execution spans parent under the
+// connection's installed trace context (SetTraceCtx).
 func (c *Conn) ExecBatch(stmts []Stmt) ([]*sqldb.ResultSet, error) {
-	results, done, err := c.ExecBatchAt(c.clock.Now(), stmts)
+	results, done, err := c.ExecBatchCtx(c.traceCtx, c.clock.Now(), stmts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,375 @@
+// Package obs is the observability spine of the reproduction: a
+// deterministic query-lifecycle tracer and a unified metrics registry.
+//
+// The paper's entire argument is about where time goes inside a page load —
+// round trips deferred, batched, and overlapped — so the tracer records
+// SPANS ON THE VIRTUAL CLOCK: every span is stamped with the virtual
+// start/end times of the timeline it happened on (a session's clock, the
+// shared hub's, a DB worker queue's horizon), not with host time. Because
+// the simulation is deterministic (PR 4 made even shared dispatch
+// bit-for-bit reproducible), a page's span tree is itself deterministic and
+// golden-testable: two runs of the same page produce byte-identical
+// waterfalls, including timestamps.
+//
+// Tracing is zero-cost when disabled. The disabled state is a nil *Tracer
+// (the default everywhere): the span context Ctx is a value type whose
+// methods begin with a nil check and return immediately, so instrumented
+// code paths pay one predictable branch. A non-nil tracer can additionally
+// be switched off (SetEnabled), which turns every recording call into an
+// atomic load — the "compiled in but disabled" configuration the hosttime
+// benchmark bounds at <2% overhead.
+//
+// Span parents are threaded explicitly, never through goroutine-local
+// state: webapp.Load opens a page root and hands the Ctx to the query
+// store, which parents flush spans under it and stores the flush Ctx in
+// the dispatch Ticket, so the async worker or the shared hub — executing
+// on another goroutine — still attaches execution spans to the right
+// branch of the right page tree.
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span within its tracer. Zero is "no span".
+type SpanID int
+
+// Arg is one key/value annotation on a span. Values must be one of
+// string, int, int64, float64, bool, or time.Duration so rendering is
+// deterministic.
+type Arg struct {
+	K string
+	V any
+}
+
+// span is the internal record. Host-clock fields are populated only when
+// the tracer's host clock is on, and are excluded from the golden
+// waterfall rendering (host time is never deterministic).
+type span struct {
+	id      SpanID
+	parent  SpanID
+	cat     string
+	name    string
+	track   string
+	start   time.Duration // virtual
+	end     time.Duration // virtual; == start until End
+	ended   bool
+	hostAt  time.Time
+	hostDur time.Duration
+	args    []Arg
+}
+
+// Span is the exported snapshot of one recorded span (tests, exporters).
+type Span struct {
+	ID      SpanID
+	Parent  SpanID
+	Cat     string
+	Name    string
+	Track   string
+	Start   time.Duration
+	End     time.Duration
+	HostDur time.Duration
+	Args    []Arg
+}
+
+// Tracer records spans. It is safe for concurrent use: the dispatch
+// pipeline records from session goroutines, the async worker, and the
+// shared hub at once.
+type Tracer struct {
+	enabled atomic.Bool
+	host    atomic.Bool
+
+	mu    sync.Mutex
+	spans []span
+}
+
+// NewTracer returns an enabled tracer with the host clock off.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled switches recording on or off. A disabled tracer keeps its
+// recorded spans; recording calls become an atomic load and return.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether the tracer records.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetHostClock additionally stamps each span with the host-clock duration
+// between its Start and End calls. Host durations are advisory (profiling
+// runs); they are exported to trace args but never rendered in the golden
+// waterfall.
+func (t *Tracer) SetHostClock(on bool) { t.host.Store(on) }
+
+// SpanCount reports how many spans have been recorded.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset discards every recorded span.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = nil
+}
+
+// Spans snapshots every recorded span in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i := range t.spans {
+		s := &t.spans[i]
+		out[i] = Span{
+			ID: s.id, Parent: s.parent, Cat: s.cat, Name: s.name,
+			Track: s.track, Start: s.start, End: s.end,
+			HostDur: s.hostDur, Args: s.args,
+		}
+	}
+	return out
+}
+
+// Roots lists the ids of parentless spans (page roots, hub windows) in
+// recording order.
+func (t *Tracer) Roots() []SpanID {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanID
+	for i := range t.spans {
+		if t.spans[i].parent == 0 {
+			out = append(out, t.spans[i].id)
+		}
+	}
+	return out
+}
+
+// start appends a span and returns its Ctx. Callers hold no locks.
+func (t *Tracer) start(parent SpanID, track, cat, name string, at time.Duration, args []Arg) Ctx {
+	var hostAt time.Time
+	if t.host.Load() {
+		hostAt = time.Now()
+	}
+	t.mu.Lock()
+	id := SpanID(len(t.spans) + 1)
+	t.spans = append(t.spans, span{
+		id: id, parent: parent, cat: cat, name: name, track: track,
+		start: at, end: at, hostAt: hostAt, args: args,
+	})
+	t.mu.Unlock()
+	return Ctx{t: t, id: id, track: track}
+}
+
+// Root opens a parentless span on the given exporter track (one track per
+// session, per DB worker, and for the shared hub).
+func (t *Tracer) Root(track, cat, name string, start time.Duration, args ...Arg) Ctx {
+	if !t.Enabled() {
+		return Ctx{}
+	}
+	return t.start(0, track, cat, name, start, args)
+}
+
+// Ctx is a handle to an open span: the parent under which children record.
+// The zero value is the disabled context — every method on it is a no-op —
+// so instrumentation threads Ctx values unconditionally and pays only a
+// nil check when tracing is off. Ctx is an immutable value and safe to
+// hand across goroutines (ticket contexts cross into the async worker and
+// the shared hub).
+type Ctx struct {
+	t     *Tracer
+	id    SpanID
+	track string
+}
+
+// Enabled reports whether this context records spans.
+func (c Ctx) Enabled() bool { return c.t != nil && c.t.enabled.Load() }
+
+// Tracer exposes the underlying tracer (nil when disabled).
+func (c Ctx) Tracer() *Tracer { return c.t }
+
+// Track reports the exporter track this context's children inherit.
+func (c Ctx) Track() string { return c.track }
+
+// Child opens a span under c on the same track.
+func (c Ctx) Child(cat, name string, start time.Duration, args ...Arg) Ctx {
+	if !c.Enabled() {
+		return Ctx{}
+	}
+	return c.t.start(c.id, c.track, cat, name, start, args)
+}
+
+// ChildTrack opens a span under c on a different exporter track (DB worker
+// occupancy spans live on per-worker tracks while staying in the page
+// tree).
+func (c Ctx) ChildTrack(track, cat, name string, start time.Duration, args ...Arg) Ctx {
+	if !c.Enabled() {
+		return Ctx{}
+	}
+	return c.t.start(c.id, track, cat, name, start, args)
+}
+
+// End closes the span at the given virtual time.
+func (c Ctx) End(end time.Duration) { c.EndArgs(end) }
+
+// EndArgs closes the span and appends result annotations (rows scanned,
+// statements saved, ...).
+func (c Ctx) EndArgs(end time.Duration, args ...Arg) {
+	if !c.Enabled() {
+		return
+	}
+	c.t.mu.Lock()
+	s := &c.t.spans[c.id-1]
+	s.end = end
+	s.ended = true
+	if !s.hostAt.IsZero() {
+		s.hostDur = time.Since(s.hostAt)
+	}
+	if len(args) > 0 {
+		s.args = append(s.args, args...)
+	}
+	c.t.mu.Unlock()
+}
+
+// Instant records a zero-width marker span under c (error events, stage
+// annotations with no duration of their own).
+func (c Ctx) Instant(cat, name string, at time.Duration, args ...Arg) {
+	if !c.Enabled() {
+		return
+	}
+	c.t.start(c.id, c.track, cat, name, at, args).End(at)
+}
+
+// formatArg renders one annotation value deterministically.
+func formatArg(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case time.Duration:
+		return x.String()
+	default:
+		return "?"
+	}
+}
+
+// argString renders a span's annotations as " {k=v k=v}" in recording
+// order (instrumentation sites emit args in a fixed order, so this is
+// deterministic).
+func argString(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(" {")
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(a.K)
+		sb.WriteByte('=')
+		sb.WriteString(formatArg(a.V))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Waterfall renders the span tree rooted at id as an indented text
+// timeline on the virtual clock. The rendering is the GOLDEN FORM of a
+// trace: it includes span names, categories, annotations, and virtual
+// start/end timestamps, and deliberately excludes everything
+// non-deterministic or placement-dependent — host durations, exporter
+// tracks (a DB span lands on a different worker track under -workers 4,
+// but its virtual times are identical), and recording order (children sort
+// by virtual time, then category, name, and annotations).
+func (t *Tracer) Waterfall(root SpanID) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	spans := make([]span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	children := make(map[SpanID][]int)
+	byID := make(map[SpanID]int, len(spans))
+	for i := range spans {
+		byID[spans[i].id] = i
+		children[spans[i].parent] = append(children[spans[i].parent], i)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(a, b int) bool {
+			x, y := &spans[kids[a]], &spans[kids[b]]
+			if x.start != y.start {
+				return x.start < y.start
+			}
+			if x.end != y.end {
+				return x.end < y.end
+			}
+			if x.cat != y.cat {
+				return x.cat < y.cat
+			}
+			if x.name != y.name {
+				return x.name < y.name
+			}
+			return argString(x.args) < argString(y.args)
+		})
+	}
+
+	var sb strings.Builder
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		s := &spans[idx]
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s.cat)
+		if s.name != s.cat {
+			sb.WriteByte(' ')
+			sb.WriteString(s.name)
+		}
+		sb.WriteString(" [")
+		sb.WriteString(s.start.String())
+		sb.WriteString(" → ")
+		sb.WriteString(s.end.String())
+		sb.WriteByte(']')
+		sb.WriteString(argString(s.args))
+		sb.WriteByte('\n')
+		for _, k := range children[s.id] {
+			walk(k, depth+1)
+		}
+	}
+	rootIdx, ok := byID[root]
+	if !ok {
+		return ""
+	}
+	walk(rootIdx, 0)
+	return sb.String()
+}

@@ -26,20 +26,41 @@ type res[T any] struct {
 // aware view writer without being evaluated.
 type Lazy[T any] struct {
 	th *thunk.Thunk[res[T]]
+	// sink is the session's thunk-allocation counter; derived lazies (Map)
+	// inherit it so every allocation is attributed to the session whose
+	// request created it. The process-global thunk counter cannot give a
+	// page load its own count when sessions run concurrently.
+	sink *int64
 }
 
-// lazyOf wraps a computation.
-func lazyOf[T any](fn func() (T, error)) Lazy[T] {
-	return Lazy[T]{th: thunk.New(func() res[T] {
+// lazyWith wraps a computation, attributing the allocation to sink.
+func lazyWith[T any](sink *int64, fn func() (T, error)) Lazy[T] {
+	if sink != nil {
+		*sink++
+	}
+	return Lazy[T]{sink: sink, th: thunk.New(func() res[T] {
 		v, err := fn()
 		return res[T]{val: v, err: err}
 	})}
 }
 
+// lazyOf wraps a computation for session s.
+func lazyOf[T any](s *Session, fn func() (T, error)) Lazy[T] {
+	return lazyWith(&s.stats.ThunkAllocs, fn)
+}
+
 // lazyDone wraps an already-computed value (the ModeOriginal case,
 // mirroring the paper's LiteralThunk).
-func lazyDone[T any](v T, err error) Lazy[T] {
-	return Lazy[T]{th: thunk.Lit(res[T]{val: v, err: err})}
+func lazyDone[T any](s *Session, v T, err error) Lazy[T] {
+	s.stats.ThunkAllocs++
+	return Lazy[T]{sink: &s.stats.ThunkAllocs, th: thunk.Lit(res[T]{val: v, err: err})}
+}
+
+// lazyNow evaluates fn immediately and wraps its result, attributing the
+// allocation to session s.
+func lazyNow[T any](s *Session, fn func() (T, error)) Lazy[T] {
+	v, err := fn()
+	return lazyDone(s, v, err)
 }
 
 // Get forces the value.
@@ -65,9 +86,10 @@ func (l Lazy[T]) Forced() bool { return l.th.Forced() }
 // point, which the web framework converts into a rendering error.
 func (l Lazy[T]) ForceAny() any { return l.Must() }
 
-// Map derives a lazy value from l without forcing it.
+// Map derives a lazy value from l without forcing it. The derived value is
+// attributed to the same session as l.
 func Map[T, U any](l Lazy[T], f func(T) U) Lazy[U] {
-	return lazyOf(func() (U, error) {
+	return lazyWith(l.sink, func() (U, error) {
 		v, err := l.Get()
 		if err != nil {
 			var zero U

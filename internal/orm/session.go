@@ -28,6 +28,11 @@ type SessionStats struct {
 	IdentityHits int64 // loads served from the identity map
 	Deserialized int64 // entities materialized from rows
 	EagerLoads   int64 // cascade queries issued (ModeOriginal only)
+	// ThunkAllocs counts lazy values allocated on behalf of this session
+	// (including Map-derived ones). Unlike the process-global thunk
+	// counter, it is per-session, so a page load's thunk count — and the
+	// app-server time charged for it — is deterministic under concurrency.
+	ThunkAllocs int64
 }
 
 // Session is one request's ORM context: a connection (via the query store),
@@ -133,7 +138,7 @@ func (m *Meta[T]) Find(s *Session, id int64) Lazy[*T] {
 	s.stats.Loads++
 	if e, ok := s.identityGet(m.table, id); ok {
 		s.stats.IdentityHits++
-		return lazyDone(e.(*T), nil)
+		return lazyDone(s, e.(*T), nil)
 	}
 	sql := m.selectSQL(m.PKColumn() + " = ?")
 	get := s.read(sql, id)
@@ -153,9 +158,9 @@ func (m *Meta[T]) Find(s *Session, id int64) Lazy[*T] {
 		return es[0], nil
 	}
 	if s.mode == ModeOriginal {
-		return lazyDone(make1())
+		return lazyNow(s, make1)
 	}
-	return lazyOf(make1)
+	return lazyOf(s, make1)
 }
 
 // FindNow loads an entity and forces it immediately — what application code
@@ -183,9 +188,9 @@ func (m *Meta[T]) Where(s *Session, cond string, args ...sqldb.Value) Lazy[[]*T]
 		return es, nil
 	}
 	if s.mode == ModeOriginal {
-		return lazyDone(makeAll())
+		return lazyNow(s, makeAll)
 	}
-	return lazyOf(makeAll)
+	return lazyOf(s, makeAll)
 }
 
 // All loads every entity of the type.
@@ -206,9 +211,9 @@ func (m *Meta[T]) CountWhere(s *Session, cond string, args ...sqldb.Value) Lazy[
 		return rs.Int(0, "n")
 	}
 	if s.mode == ModeOriginal {
-		return lazyDone(count())
+		return lazyNow(s, count)
 	}
-	return lazyOf(count)
+	return lazyOf(s, count)
 }
 
 // Insert stores a new entity. Writes are never deferred.

@@ -33,10 +33,12 @@ package querystore
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dispatch"
 	"repro/internal/driver"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/plan"
 	"repro/internal/sqldb/sqlparse"
@@ -76,6 +78,14 @@ type Config struct {
 	// Ignored under the synchronous dispatcher, whose writes already
 	// surface errors at registration.
 	PipelineWrites bool
+	// Trace, when non-nil, records query-lifecycle spans (flush, force,
+	// wait, dispatch, execution) on the virtual clock. Spans parent under
+	// the context installed with SetTraceCtx (typically the page root the
+	// web framework opens); with no context installed nothing records.
+	Trace *obs.Tracer
+	// TraceTrack is the exporter track (Perfetto lane) for this store's
+	// session spans; empty selects "session".
+	TraceTrack string
 }
 
 // Stats counts store activity for the experiment harness. All counters are
@@ -91,6 +101,10 @@ type Stats struct {
 	MergeGroups   int64 // merged statements emitted by the merge optimizer
 	MergeSaved    int64 // statements eliminated by the merge optimizer
 	SharedHits    int64 // statements answered by another session's window entry
+	// ThunkAllocs counts result thunks handed out by Lazy for this store.
+	// Per-store (not process-global) so a page load's thunk count stays
+	// deterministic when sessions run concurrently.
+	ThunkAllocs int64
 	// MergeSavedByFamily breaks MergeSaved down per merge family (indexed
 	// by merge.FamilyID: equality, aggregate, range). Under shared
 	// dispatch these are this store's pro-rated shares of the window-level
@@ -108,6 +122,7 @@ type pending struct {
 type inflight struct {
 	t   *dispatch.Ticket
 	ids []QueryID
+	ctx obs.Ctx // the flush span the batch was submitted under
 }
 
 // Store is a per-request (per-session) query store. It is not safe for
@@ -126,6 +141,11 @@ type Store struct {
 	inflight []inflight
 	nextID   QueryID
 	stats    Stats
+
+	// traceCtx is the span context store activity records under — the
+	// current page root while a load is in flight (webapp installs it).
+	// The zero value disables recording.
+	traceCtx obs.Ctx
 
 	// fireAndForget marks pipelined-write ids (ExecPipelined) whose result
 	// nobody will force; when such an id's batch fails, writeErrs carries
@@ -196,6 +216,24 @@ func (s *Store) Close() error {
 // Conn returns the underlying connection.
 func (s *Store) Conn() *driver.Conn { return s.conn }
 
+// Tracer returns the configured tracer (nil when tracing is off).
+func (s *Store) Tracer() *obs.Tracer { return s.cfg.Trace }
+
+// TraceTrack returns the exporter track for this store's session spans.
+func (s *Store) TraceTrack() string {
+	if s.cfg.TraceTrack == "" {
+		return "session"
+	}
+	return s.cfg.TraceTrack
+}
+
+// SetTraceCtx installs the span context store activity parents under
+// (the page root during a load; the zero Ctx detaches).
+func (s *Store) SetTraceCtx(ctx obs.Ctx) { s.traceCtx = ctx }
+
+// TraceCtx returns the installed span context.
+func (s *Store) TraceCtx() obs.Ctx { return s.traceCtx }
+
 // Dispatcher exposes the store's dispatch strategy (stats inspection).
 func (s *Store) Dispatcher() dispatch.Dispatcher { return s.disp }
 
@@ -256,7 +294,7 @@ func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 			s.bySQL[dedupKey(st)] = id
 		}
 		if s.cfg.BatchCap > 0 && len(s.queue) >= s.cfg.BatchCap {
-			if err := s.flushForProgress(); err != nil {
+			if err := s.flushForProgress("cap"); err != nil {
 				return 0, err
 			}
 		}
@@ -267,7 +305,7 @@ func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 	// left lingering in the query store (Sec. 3.3) and transaction
 	// boundaries hold.
 	s.stats.ForcedByWrite++
-	if err := s.flushForProgress(); err != nil {
+	if err := s.flushForProgress("write"); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -278,12 +316,12 @@ func (s *Store) Register(sql string, args ...sqldb.Value) (QueryID, error) {
 // continues while the batch executes), while the synchronous dispatcher
 // executes and surfaces errors here, exactly as before the pipeline
 // existed.
-func (s *Store) flushForProgress() error {
+func (s *Store) flushForProgress(trigger string) error {
+	s.submit(trigger)
 	if s.disp.Deferred() {
-		s.submit()
 		return nil
 	}
-	return s.Flush()
+	return s.barrierErr(s.collect())
 }
 
 // ResultSet returns the result for id, flushing the pending batch in a
@@ -299,8 +337,16 @@ func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 	if err, ok := s.errs[id]; ok {
 		return nil, err
 	}
-	s.submit()
+	// The force span covers the cache-miss path end to end: the flush it
+	// triggers plus the wait for every in-flight batch.
+	var fc obs.Ctx
+	if s.traceCtx.Enabled() {
+		fc = s.traceCtx.Child("force", "force", s.conn.Clock().Now(),
+			obs.Arg{K: "q", V: int64(id)})
+	}
+	s.submit("force")
 	ferr := s.collect()
+	fc.End(s.conn.Clock().Now())
 	if rs, ok := s.cache[id]; ok {
 		if werr := s.takeWriteErr(); werr != nil {
 			return nil, werr
@@ -328,7 +374,7 @@ func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 // are also recorded against every id of their failed batches, so later
 // forces of those ids see them (deferred-error delivery).
 func (s *Store) Flush() error {
-	s.submit()
+	s.submit("flush")
 	return s.barrierErr(s.collect())
 }
 
@@ -339,12 +385,13 @@ func (s *Store) Flush() error {
 // synchronous run would not have executed).
 func (s *Store) FlushAsync() {
 	if s.disp.Deferred() {
-		s.submit()
+		s.submit("async")
 	}
 }
 
-// submit hands the pending batch to the dispatcher.
-func (s *Store) submit() {
+// submit hands the pending batch to the dispatcher. trigger names what
+// forced the flush (force, write, cap, flush, async) for the flush span.
+func (s *Store) submit(trigger string) {
 	if len(s.queue) == 0 {
 		return
 	}
@@ -370,8 +417,24 @@ func (s *Store) submit() {
 			}
 		}
 	}
-	t := s.disp.Submit(stmts)
-	s.inflight = append(s.inflight, inflight{t: t, ids: ids})
+	// The flush span covers submit to submit-return: under the synchronous
+	// dispatcher that is the whole blocking round trip, under deferred
+	// dispatchers it is a handoff instant and the execution spans attach
+	// later from the worker or hub via the ticket's context.
+	var fctx obs.Ctx
+	if s.traceCtx.Enabled() {
+		fctx = s.traceCtx.Child("flush", "flush", s.conn.Clock().Now(),
+			obs.Arg{K: "trigger", V: trigger},
+			obs.Arg{K: "stmts", V: len(batch)})
+	}
+	var t *dispatch.Ticket
+	if cs, ok := s.disp.(dispatch.CtxSubmitter); ok && fctx.Enabled() {
+		t = cs.SubmitCtx(fctx, stmts)
+	} else {
+		t = s.disp.Submit(stmts)
+	}
+	fctx.End(s.conn.Clock().Now())
+	s.inflight = append(s.inflight, inflight{t: t, ids: ids, ctx: fctx})
 	s.stats.Batches++
 	if len(batch) > s.stats.MaxBatch {
 		s.stats.MaxBatch = len(batch)
@@ -387,8 +450,21 @@ func (s *Store) submit() {
 // write's own id.
 func (s *Store) collect() error {
 	var first error
+	deferred := s.disp.Deferred()
 	for _, f := range s.inflight {
+		tracedWait := deferred && f.ctx.Enabled()
+		var waitFrom time.Duration
+		if tracedWait {
+			waitFrom = s.conn.Clock().Now()
+		}
 		results, bs, err := s.disp.Wait(f.t)
+		if tracedWait {
+			// Record the wait only when the session actually blocked on the
+			// virtual clock; fully-overlapped batches wait for free.
+			if now := s.conn.Clock().Now(); now > waitFrom {
+				f.ctx.Child("wait", "wait", waitFrom).End(now)
+			}
+		}
 		if err != nil {
 			if first == nil {
 				first = err
@@ -523,6 +599,7 @@ type Result struct {
 // the result set, flushing the batch if needed. This is the reproduction of
 // the paper's compiled query-call thunk (Sec. 3.3).
 func Lazy(s *Store, sql string, args ...sqldb.Value) *thunk.Thunk[Result] {
+	s.stats.ThunkAllocs++
 	id, err := s.Register(sql, args...)
 	if err != nil {
 		return thunk.Lit(Result{Err: err})

@@ -99,6 +99,28 @@ func normalizeArgs(args []sqldb.Value) []sqldb.Value {
 	return args
 }
 
+// DescribeAccess names the access path a statement's compiled plan would
+// use — "index-eq(col)" / "index-in(col)" / "scan" for SELECTs, "write"
+// for mutations, "control" for transaction and DDL statements. The tracing
+// layer stamps it on per-statement spans; the plan-cache hit makes it
+// cheap for statements that just executed.
+func (s *Session) DescribeAccess(sql string, st sqlparse.Statement) string {
+	switch st.(type) {
+	case *sqlparse.SelectStmt:
+		s.db.store.Lock()
+		defer s.db.store.Unlock()
+		p := s.db.plans.Prepare(sql, st)
+		if p.Err != nil || p.Select == nil {
+			return "?"
+		}
+		return p.Select.AccessDesc()
+	case *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt:
+		return "write"
+	default:
+		return "control"
+	}
+}
+
 func (s *Session) execLocked(sql string, st sqlparse.Statement, args []sqldb.Value) (*sqldb.ResultSet, error) {
 	switch x := st.(type) {
 	case *sqlparse.SelectStmt, *sqlparse.InsertStmt, *sqlparse.UpdateStmt, *sqlparse.DeleteStmt:

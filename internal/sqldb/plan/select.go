@@ -623,3 +623,22 @@ func compareForSort(a, b sqldb.Value) int {
 	}
 	return c
 }
+
+// AccessDesc names the plan's static access path — "index-eq(col)",
+// "index-in(col)", or "scan" — for the tracing layer's per-statement
+// spans. It describes the first candidate, the one the executor tries
+// first; a NULL-valued parameter can still de-index an individual
+// execution at runtime.
+func (p *SelectPlan) AccessDesc() string {
+	for i := range p.access {
+		c := &p.access[i]
+		name := p.from.Columns[c.ord].Name
+		if c.eq != nil {
+			return "index-eq(" + name + ")"
+		}
+		if len(c.in) > 0 {
+			return "index-in(" + name + ")"
+		}
+	}
+	return "scan"
+}

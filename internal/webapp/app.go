@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/orm"
-	"repro/internal/thunk"
 )
 
 // Params carries request parameters (the form values the benchmark harness
@@ -172,15 +172,44 @@ func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) 
 		clock = c
 	}
 
-	thunksBefore := thunk.GlobalStats().Allocs()
+	// Per-session + per-store counters, not the process-global thunk
+	// counter: concurrent sessions would otherwise bleed allocations into
+	// each other's deltas and make per-page app time nondeterministic.
+	thunksBefore := sess.Stats().ThunkAllocs + sess.Store().Stats().ThunkAllocs
 	entitiesBefore := sess.Stats().Deserialized
 	tripsBefore := sess.Conn().Link().Stats().RoundTrips
 	batchesBefore := sess.Store().Stats().Batches
 
+	// Page root span: the top of this load's trace tree. The store and
+	// the connection get the root as their parent context for the load's
+	// duration — flush/force spans (Sloth) and per-query round trips
+	// (original mode) both land under it — and the previous contexts are
+	// restored on exit so nested or sequential loads never cross-link.
+	store := sess.Store()
+	var pctx obs.Ctx
+	if tr := store.Tracer(); tr.Enabled() {
+		mode := "original"
+		if sess.Sloth() {
+			mode = "sloth"
+		}
+		pctx = tr.Root(store.TraceTrack(), "page", name, clock.Now(),
+			obs.Arg{K: "mode", V: mode})
+		prevStore, prevConn := store.TraceCtx(), sess.Conn().TraceCtx()
+		store.SetTraceCtx(pctx)
+		sess.Conn().SetTraceCtx(pctx)
+		defer func() {
+			store.SetTraceCtx(prevStore)
+			sess.Conn().SetTraceCtx(prevConn)
+			pctx.End(clock.Now())
+		}()
+	}
+
 	ctx := &Ctx{Session: sess, Req: req, Model: make(Model)}
+	cctx := pctx.Child("app", "controller", clock.Now())
 	if err := page.Controller(ctx); err != nil {
 		return nil, fmt.Errorf("webapp: page %q controller: %w", name, err)
 	}
+	cctx.EndArgs(clock.Now(), obs.Arg{K: "puts", V: ctx.puts})
 
 	// Pipelined flush (paper Sec. 5, "async" extension): the model is
 	// complete, so everything registered so far can start executing while
@@ -191,18 +220,20 @@ func (a *App) Load(name string, req Params, sess *orm.Session) (*Result, error) 
 	}
 	clock.Advance(a.profile.ControllerBase)
 
+	vctx := pctx.Child("app", "view", clock.Now())
 	w := NewThunkWriter(sess.Sloth())
 	page.View(w, ctx.Model)
 	html, err := w.Flush()
 	if err != nil {
 		return nil, fmt.Errorf("webapp: page %q: %w", name, err)
 	}
+	vctx.EndArgs(clock.Now(), obs.Arg{K: "rendered", V: w.Rendered()})
 
 	res := &Result{
 		HTML:        html,
 		ModelPuts:   ctx.puts,
 		Rendered:    w.Rendered(),
-		ThunkAllocs: thunk.GlobalStats().Allocs() - thunksBefore,
+		ThunkAllocs: sess.Stats().ThunkAllocs + sess.Store().Stats().ThunkAllocs - thunksBefore,
 		Entities:    sess.Stats().Deserialized - entitiesBefore,
 	}
 	// PerRoundTrip is the client-side driver work of shipping one batch. A
