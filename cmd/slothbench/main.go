@@ -15,6 +15,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -33,7 +36,7 @@ type options struct {
 	kind      dispatch.Kind
 	kindSet   bool
 	sessions  int
-	workers   int
+	workers   []int
 	visits    bool
 	hostReps  int
 	hostOut   string
@@ -51,7 +54,7 @@ func main() {
 	families := flag.String("families", "all", "merge families when -merge is set: all (equality+aggregate+range) | eq (equality only, the PR 1 baseline)")
 	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
 	flag.IntVar(&o.sessions, "sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
-	flag.IntVar(&o.workers, "workers", 0, "server DB worker queues for -exp throughput (0 = sweep 1,4)")
+	workersFlag := flag.String("workers", "", "server DB worker queues, comma-separated (throughput: empty = sweep 1,4; hosttime: empty = sweep 1,2,4,8)")
 	flag.BoolVar(&o.visits, "visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
 	flag.IntVar(&o.hostReps, "hostreps", 3, "measured replays per cache mode for -exp hosttime")
 	flag.StringVar(&o.hostOut, "hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
@@ -73,6 +76,12 @@ func main() {
 	}
 	o.eqOnly = *families == "eq"
 
+	var err error
+	if o.workers, err = parseWorkers(*workersFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "slothbench: %v\n", err)
+		os.Exit(1)
+	}
+
 	if o.debugAddr != "" {
 		if err := serveDebug(o.debugAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "slothbench:", err)
@@ -84,6 +93,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slothbench:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkers turns the comma-separated -workers flag into a count list.
+// Empty means "use the experiment's default sweep".
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers %q: want comma-separated positive counts", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // serveDebug starts the diagnostics endpoint: net/http/pprof's handlers on
@@ -290,8 +316,8 @@ func run(o options) error {
 				counts = []int{sessions}
 			}
 			wlist := []int{1, 4}
-			if workers > 0 {
-				wlist = []int{workers}
+			if len(workers) > 0 {
+				wlist = workers
 			}
 			kinds := []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared}
 			if kindSet {
@@ -313,7 +339,11 @@ func run(o options) error {
 			return nil
 		},
 		"hosttime": func() error {
-			rep, err := bench.HostTime(bench.HostTimeOptions{Reps: hostReps, RTT: rtt, Out: hostOut})
+			sweep := []int{1, 2, 4, 8}
+			if len(workers) > 0 {
+				sweep = workers
+			}
+			rep, err := bench.HostTime(bench.HostTimeOptions{Reps: hostReps, RTT: rtt, Out: hostOut, Workers: sweep})
 			if err != nil {
 				return err
 			}
@@ -323,6 +353,15 @@ func run(o options) error {
 			}
 			if rep.TraceOverhead > 1.02 {
 				return fmt.Errorf("hosttime: disabled-tracer overhead %.1f%% above the 2%% ceiling", (rep.TraceOverhead-1)*100)
+			}
+			if rep.ParallelSpeedup4 > 0 {
+				if runtime.GOMAXPROCS(0) >= 4 {
+					if rep.ParallelSpeedup4 < 1.8 {
+						return fmt.Errorf("hosttime: 4-worker parallel speedup %.2fx below the 1.8x floor", rep.ParallelSpeedup4)
+					}
+				} else {
+					fmt.Printf("parallel-efficiency gate skipped: GOMAXPROCS=%d < 4\n", runtime.GOMAXPROCS(0))
+				}
 			}
 			return nil
 		},

@@ -6,11 +6,15 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/driver"
+	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/orm"
 	"repro/internal/sqldb/plan"
+	"repro/internal/sqldb/sqlparse"
 )
 
 // This file holds the host-time benchmark: unlike every other experiment,
@@ -32,6 +36,12 @@ type HostTimeOptions struct {
 	RTT time.Duration
 	// Out, when non-empty, is the path of the JSON artifact to write.
 	Out string
+	// Workers, when non-empty, additionally runs the multicore sweep: the
+	// golden suites' read-only Sloth batches are recorded once, then
+	// replayed wall-clock by concurrent sessions under each pool size. The
+	// sweep measures real parallel execution (MVCC snapshot reads on worker
+	// slots), so its speedups are bounded by GOMAXPROCS.
+	Workers []int
 }
 
 // HostTimeRow is one (application, cache mode) measurement.
@@ -60,6 +70,28 @@ type HostTimeReport struct {
 	// paths pay one atomic load per site when the tracer is off; this row
 	// pair keeps that claim measured rather than asserted.
 	TraceOverhead float64 `json:"trace_overhead"`
+	// WorkerSweep is the multicore replay (one row per pool size), present
+	// only when HostTimeOptions.Workers was set.
+	WorkerSweep []HostWorkerRow `json:"worker_sweep,omitempty"`
+	// ParallelSpeedup4 is wall(1 worker) / wall(4 workers) over the sweep's
+	// read-heavy replay — the multicore acceptance metric (>= 1.8x on hosts
+	// with GOMAXPROCS >= 4). Zero when the sweep lacked either pool size.
+	ParallelSpeedup4 float64 `json:"parallel_speedup_4,omitempty"`
+	// GoMaxProcs records the host parallelism the sweep ran under, so the
+	// artifact's speedups are interpretable (a 1-CPU host caps every sweep
+	// at ~1x regardless of pool size).
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+}
+
+// HostWorkerRow is one pool size of the multicore sweep.
+type HostWorkerRow struct {
+	Workers     int           `json:"workers"`
+	Sessions    int           `json:"sessions"`
+	Batches     int64         `json:"batches"` // read batches replayed (all sessions, both apps)
+	Stmts       int64         `json:"stmts"`
+	Wall        time.Duration `json:"wall_ns"` // best-of-reps wall clock
+	StmtsPerSec float64       `json:"stmts_per_sec"`
+	Speedup     float64       `json:"speedup_vs_1"`
 }
 
 // HostTime replays the full golden suite (every page, original and Sloth
@@ -188,6 +220,12 @@ func HostTime(opts HostTimeOptions) (*HostTimeReport, error) {
 		rep.TraceOverhead = float64(wallByPhase[2]) / float64(wallByPhase[0])
 	}
 
+	if len(opts.Workers) > 0 {
+		if err := workerSweep(rep, opts.Workers, reps, rtt); err != nil {
+			return nil, err
+		}
+	}
+
 	if opts.Out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -198,6 +236,129 @@ func HostTime(opts HostTimeOptions) (*HostTimeReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// sweepSessions is how many concurrent sessions replay the recorded
+// batches per pool size — enough to keep an 8-worker pool saturated.
+const sweepSessions = 8
+
+// isReadBatch reports whether every statement in the batch is a SELECT —
+// the shape the driver routes to the parallel snapshot path.
+func isReadBatch(stmts []driver.Stmt) bool {
+	for _, st := range stmts {
+		if _, ok := st.Parsed.(*sqlparse.SelectStmt); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// workerSweep records the golden suites' read-only Sloth batches, then
+// wall-clock replays them with sweepSessions concurrent connections under
+// each pool size. Replayed batches are all SELECTs, so the replay is
+// idempotent and every batch takes the MVCC snapshot path on a real worker
+// slot; the speedup column is therefore genuine multicore scaling, not the
+// virtual occupancy model.
+func workerSweep(rep *HostTimeReport, workers []int, reps int, rtt time.Duration) error {
+	plan.SetCaching(true)
+	type appRec struct {
+		env     *Env
+		batches [][]driver.Stmt
+	}
+	var recs []*appRec
+	var stmtsPerReplay int64
+	for _, id := range []AppID{Itracker, OpenMRS} {
+		env, err := NewEnv(id, 1)
+		if err != nil {
+			return err
+		}
+		ar := &appRec{env: env}
+		cfg := env.StoreCfg
+		cfg.Record = func(stmts []driver.Stmt) {
+			if isReadBatch(stmts) {
+				ar.batches = append(ar.batches, stmts)
+			}
+		}
+		// One Sloth-mode pass over every page: captures the real batch
+		// shapes and warms the plan cache.
+		for _, page := range env.Pages() {
+			if _, _, err := env.LoadPageHTML(page, orm.ModeSloth, rtt, cfg); err != nil {
+				return err
+			}
+		}
+		for _, b := range ar.batches {
+			stmtsPerReplay += int64(len(b))
+		}
+		recs = append(recs, ar)
+	}
+
+	replay := func(ar *appRec) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, sweepSessions)
+		for s := 0; s < sweepSessions; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn := ar.env.Srv.Connect(netsim.NewLink(netsim.NewVirtualClock(), rtt))
+				for _, batch := range ar.batches {
+					if _, err := conn.ExecBatch(batch); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	var wallByK = map[int]time.Duration{}
+	for _, k := range workers {
+		for _, ar := range recs {
+			ar.env.Srv.SetWorkers(k)
+		}
+		var best time.Duration
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			start := time.Now()
+			for _, ar := range recs {
+				if err := replay(ar); err != nil {
+					return err
+				}
+			}
+			wall := time.Since(start)
+			if best == 0 || wall < best {
+				best = wall
+			}
+		}
+		wallByK[k] = best
+		var batches int64
+		for _, ar := range recs {
+			batches += int64(len(ar.batches))
+		}
+		rep.WorkerSweep = append(rep.WorkerSweep, HostWorkerRow{
+			Workers:     k,
+			Sessions:    sweepSessions,
+			Batches:     batches * sweepSessions,
+			Stmts:       stmtsPerReplay * sweepSessions,
+			Wall:        best,
+			StmtsPerSec: float64(stmtsPerReplay*sweepSessions) / best.Seconds(),
+		})
+	}
+	for i := range rep.WorkerSweep {
+		if base := wallByK[1]; base > 0 {
+			rep.WorkerSweep[i].Speedup = float64(base) / float64(rep.WorkerSweep[i].Wall)
+		}
+	}
+	if w1, w4 := wallByK[1], wallByK[4]; w1 > 0 && w4 > 0 {
+		rep.ParallelSpeedup4 = float64(w1) / float64(w4)
+	}
+	for _, ar := range recs {
+		ar.env.Srv.SetWorkers(1)
+	}
+	return nil
 }
 
 // replaySuite loads every page of the suite in both modes, returning the
@@ -234,5 +395,20 @@ func (r *HostTimeReport) Format() string {
 	}
 	sb.WriteString(fmt.Sprintf("\ntotal speedup (cache-on vs cache-off): %.2fx\n", r.Speedup))
 	sb.WriteString(fmt.Sprintf("tracer compiled in but disabled: %.1f%% overhead\n", (r.TraceOverhead-1)*100))
+
+	if len(r.WorkerSweep) > 0 {
+		sb.WriteString(fmt.Sprintf("\nMulticore sweep: recorded read batches, %d concurrent sessions, GOMAXPROCS=%d\n\n",
+			sweepSessions, r.GoMaxProcs))
+		sb.WriteString(fmt.Sprintf("%8s %8s %8s %10s %10s %8s\n",
+			"workers", "batches", "stmts", "wall", "stmts/s", "speedup"))
+		for _, row := range r.WorkerSweep {
+			sb.WriteString(fmt.Sprintf("%8d %8d %8d %10s %10.0f %7.2fx\n",
+				row.Workers, row.Batches, row.Stmts,
+				row.Wall.Round(time.Millisecond), row.StmtsPerSec, row.Speedup))
+		}
+		if r.ParallelSpeedup4 > 0 {
+			sb.WriteString(fmt.Sprintf("\nparallel speedup at 4 workers: %.2fx\n", r.ParallelSpeedup4))
+		}
+	}
 	return sb.String()
 }

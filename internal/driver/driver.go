@@ -124,6 +124,21 @@ type ServerStats struct {
 	// together with WorkerBatches it makes the K-queue occupancy model's
 	// load balance legible in the throughput reports.
 	WorkerBusy []time.Duration
+	// WorkerWall is the real (host) execution time each worker slot spent
+	// running snapshot read batches — the wall-clock shadow of the virtual
+	// WorkerBusy, and the number the hosttime -workers sweep's parallel
+	// efficiency is computed from.
+	WorkerWall []time.Duration
+	// SnapBatches counts batches that took the parallel snapshot-read path
+	// (read-only, outside transactions) rather than the serialized path.
+	SnapBatches int64
+	// RetiredBatches/RetiredBusy/RetiredWall accumulate per-worker
+	// attribution folded in by SetWorkers when the pool is resized mid-run,
+	// so resizing never silently under-counts totals: total batches placed
+	// is sum(WorkerBatches) + RetiredBatches, and likewise for busy/wall.
+	RetiredBatches int64
+	RetiredBusy    time.Duration
+	RetiredWall    time.Duration
 }
 
 // Server fronts an engine.DB. It is safe for concurrent use by many
@@ -152,6 +167,7 @@ type Server struct {
 		stmts     *obs.Counter
 		rows      *obs.Counter
 		timeNS    *obs.Counter
+		wallNS    *obs.Counter
 		queueWait *obs.Histogram
 	}
 	// workers holds the busy horizon of each DB worker queue — the
@@ -162,12 +178,30 @@ type Server struct {
 	// and one worker the queue is always empty and the model collapses to
 	// the original serial accounting.
 	workers []time.Duration
+
+	// slots is the execution-side worker pool matching the occupancy model:
+	// a counting semaphore preloaded with one token per worker. A read-only
+	// batch takes a token, executes its compiled plans against an MVCC
+	// snapshot concurrently with other holders, and returns the token.
+	// Writes never take a token — they serialize on the storage lock as
+	// before. Guarded by mu for replacement (SetWorkers); holders keep the
+	// channel they drew from, so a resize never strands a token.
+	slots chan int
+}
+
+// newSlots builds the k-token worker semaphore.
+func newSlots(k int) chan int {
+	slots := make(chan int, k)
+	for i := 0; i < k; i++ {
+		slots <- i
+	}
+	return slots
 }
 
 // NewServer creates a server over db using the given clock and cost model.
 // The server starts with a single DB worker queue; SetWorkers resizes it.
 func NewServer(db *engine.DB, clock netsim.Clock, cost CostModel) *Server {
-	return &Server{db: db, clock: clock, cost: cost, workers: make([]time.Duration, 1)}
+	return &Server{db: db, clock: clock, cost: cost, workers: make([]time.Duration, 1), slots: newSlots(1)}
 }
 
 // DB returns the underlying engine (for direct data loading in fixtures).
@@ -181,30 +215,45 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if reg == nil {
-		s.met.batches, s.met.stmts, s.met.rows, s.met.timeNS, s.met.queueWait = nil, nil, nil, nil, nil
+		s.met.batches, s.met.stmts, s.met.rows, s.met.timeNS, s.met.wallNS, s.met.queueWait = nil, nil, nil, nil, nil, nil
 		return
 	}
 	s.met.batches = reg.Counter("db.batches")
 	s.met.stmts = reg.Counter("db.stmts")
 	s.met.rows = reg.Counter("db.rows")
 	s.met.timeNS = reg.Counter("db.time_ns")
+	s.met.wallNS = reg.Counter("db.exec_wall_ns")
 	s.met.queueWait = reg.Histogram("db.queue_wait")
 }
 
 // SetWorkers sizes the DB worker pool to k queues (k < 1 selects 1),
-// resetting every queue's busy horizon and the per-worker stat
-// attribution (a shrunk pool must not keep reporting load on workers that
-// no longer exist). Call it between replays, not while batches are in
-// flight.
+// resetting every queue's busy horizon. Per-worker stat attribution folds
+// into the Retired* buckets rather than being dropped (a shrunk pool must
+// not keep reporting load on workers that no longer exist, but a mid-run
+// resize must not silently under-count totals either). Call it between
+// replays, not while batches are in flight; a batch already holding a
+// worker slot finishes against the channel it drew from and its wall time
+// lands in RetiredWall if its slot index no longer exists.
 func (s *Server) SetWorkers(k int) {
 	if k < 1 {
 		k = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.workers = make([]time.Duration, k)
+	for _, n := range s.stats.WorkerBatches {
+		s.stats.RetiredBatches += n
+	}
+	for _, d := range s.stats.WorkerBusy {
+		s.stats.RetiredBusy += d
+	}
+	for _, d := range s.stats.WorkerWall {
+		s.stats.RetiredWall += d
+	}
 	s.stats.WorkerBatches = nil
 	s.stats.WorkerBusy = nil
+	s.stats.WorkerWall = nil
+	s.workers = make([]time.Duration, k)
+	s.slots = newSlots(k)
 }
 
 // Workers reports the size of the DB worker pool.
@@ -221,6 +270,7 @@ func (s *Server) Stats() ServerStats {
 	st := s.stats
 	st.WorkerBatches = append([]int64(nil), s.stats.WorkerBatches...)
 	st.WorkerBusy = append([]time.Duration(nil), s.stats.WorkerBusy...)
+	st.WorkerWall = append([]time.Duration(nil), s.stats.WorkerWall...)
 	return st
 }
 
@@ -315,6 +365,105 @@ func (s *Server) execBatch(sess *engine.Session, stmts []Stmt, traced bool) ([]*
 	s.met.stmts.Add(int64(len(stmts)))
 	s.met.rows.Add(rowsVisited)
 	s.met.timeNS.Add(int64(total))
+	s.mu.Unlock()
+	return results, total, layout, nil
+}
+
+// classifyRead decides whether a batch takes the parallel snapshot path:
+// every statement must be a SELECT (parsed successfully) and the session
+// must not hold an open transaction (a transaction's reads must observe
+// its own uncommitted writes, which only the serialized session sees).
+// Returns the parsed statements on success; on any parse error it reports
+// false and lets the serial path surface the identical error.
+func (s *Server) classifyRead(sess *engine.Session, stmts []Stmt) ([]sqlparse.Statement, bool) {
+	if sess.InTxn() {
+		return nil, false
+	}
+	parsed := make([]sqlparse.Statement, len(stmts))
+	for i, st := range stmts {
+		p := st.Parsed
+		if p == nil {
+			var err error
+			p, err = plan.ParseCached(st.SQL)
+			if err != nil {
+				return nil, false
+			}
+		}
+		if _, ok := p.(*sqlparse.SelectStmt); !ok {
+			return nil, false
+		}
+		parsed[i] = p
+	}
+	return parsed, true
+}
+
+// execReadBatch executes an all-SELECT batch on a DB worker slot against
+// one pinned MVCC snapshot, concurrently with other read batches; only the
+// slot semaphore and the final stats merge serialize. The virtual-cost
+// math is exactly the serialized path's read arm — per-statement dispatch
+// cost plus the parallel group's max — so the virtual timeline, and with
+// it every golden page, is identical whichever path a batch takes.
+func (s *Server) execReadBatch(parsed []sqlparse.Statement, stmts []Stmt, traced bool) ([]*sqldb.ResultSet, time.Duration, []stmtTrace, error) {
+	s.mu.Lock()
+	slots := s.slots
+	s.mu.Unlock()
+	slot := <-slots
+	wallStart := time.Now()
+	ss := s.db.BeginSnapshot()
+
+	results := make([]*sqldb.ResultSet, 0, len(stmts))
+	var total time.Duration
+	var parallelMax time.Duration
+	var rowsVisited int64
+	var layout []stmtTrace
+	if traced {
+		layout = make([]stmtTrace, 0, len(stmts))
+	}
+	for i, st := range stmts {
+		rs, path, err := ss.ExecSelect(st.SQL, parsed[i], st.Args, traced)
+		if err != nil {
+			ss.Close()
+			slots <- slot
+			return nil, total, nil, err
+		}
+		cost := s.cost.queryCost(rs)
+		rowsVisited += int64(rs.RowsScanned)
+		if traced {
+			layout = append(layout, stmtTrace{
+				off: total, dur: cost, path: path, rows: int64(rs.RowsScanned),
+			})
+		}
+		if cost > parallelMax {
+			parallelMax = cost
+		}
+		total += s.cost.BatchDispatch
+		results = append(results, rs)
+	}
+	ss.Close()
+	wall := time.Since(wallStart)
+	slots <- slot
+	total += parallelMax
+
+	s.mu.Lock()
+	s.stats.Queries += int64(len(stmts))
+	s.stats.Batches++
+	s.stats.SnapBatches++
+	s.stats.Rows += rowsVisited
+	s.stats.DBTime += total
+	if slot < len(s.workers) {
+		for len(s.stats.WorkerWall) < len(s.workers) {
+			s.stats.WorkerWall = append(s.stats.WorkerWall, 0)
+		}
+		s.stats.WorkerWall[slot] += wall
+	} else {
+		// The pool shrank while this batch held an old slot token.
+		s.stats.RetiredWall += wall
+	}
+	s.met.batches.Add(1)
+	s.met.stmts.Add(int64(len(stmts)))
+	s.met.rows.Add(rowsVisited)
+	s.met.timeNS.Add(int64(total))
+	s.met.wallNS.Add(int64(wall))
 	s.mu.Unlock()
 	return results, total, layout, nil
 }
@@ -441,7 +590,21 @@ func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([
 		}
 	}
 	traced := ctx.Enabled()
-	results, dbCost, layout, err := c.srv.execBatch(c.sess, stmts, traced)
+	var (
+		results []*sqldb.ResultSet
+		dbCost  time.Duration
+		layout  []stmtTrace
+		err     error
+	)
+	// Read-only batches outside transactions execute on a DB worker slot
+	// against an MVCC snapshot, in parallel with other read batches; writes
+	// and mixed batches take the serialized path. Both paths produce the
+	// same virtual cost for the same batch.
+	if parsed, ok := c.srv.classifyRead(c.sess, stmts); ok {
+		results, dbCost, layout, err = c.srv.execReadBatch(parsed, stmts, traced)
+	} else {
+		results, dbCost, layout, err = c.srv.execBatch(c.sess, stmts, traced)
+	}
 	if err != nil {
 		if traced {
 			ctx.Instant("error", "exec", arrival, obs.Arg{K: "err", V: err.Error()})

@@ -86,6 +86,12 @@ type Config struct {
 	// TraceTrack is the exporter track (Perfetto lane) for this store's
 	// session spans; empty selects "session".
 	TraceTrack string
+	// Record, when non-nil, observes every submitted batch (after dedup and
+	// parse-once threading, before merge rewriting). The bench harness uses
+	// it to capture the golden suites' real batch shapes for wall-clock
+	// replay sweeps. The slice is the callback's to keep; statement Args
+	// must be treated as read-only.
+	Record func(stmts []driver.Stmt)
 }
 
 // Stats counts store activity for the experiment harness. All counters are
@@ -416,6 +422,11 @@ func (s *Store) submit(trigger string) {
 				stmts[i].Parsed = parsed
 			}
 		}
+	}
+	if s.cfg.Record != nil {
+		// Hand the recorder its own copy: merge stages may rewrite the
+		// submitted slice in place.
+		s.cfg.Record(append([]driver.Stmt(nil), stmts...))
 	}
 	// The flush span covers submit to submit-return: under the synchronous
 	// dispatcher that is the whole blocking round trip, under deferred

@@ -51,6 +51,8 @@ var execCases = []struct {
 	{"aggregate", "SELECT COUNT(*), SUM(id) FROM kv WHERE grp = ?",
 		func(i int) []sqldb.Value { return []sqldb.Value{int64(i % 32)} }},
 	{"distinct", "SELECT DISTINCT grp FROM kv", func(i int) []sqldb.Value { return nil }},
+	{"scan", "SELECT id, v FROM kv WHERE id > ?",
+		func(i int) []sqldb.Value { return []sqldb.Value{int64(256)} }},
 }
 
 // BenchmarkExecSelect measures end-to-end Session.Exec (parse + plan +
@@ -65,6 +67,34 @@ func BenchmarkExecSelect(b *testing.B) {
 				defer plan.SetCaching(prev)
 				s := benchSession(b)
 				plan.SetCaching(mode == "cache-on")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Exec(c.sql, c.args(i)...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecSelectBlockMode isolates the vectorized executor: the same
+// join-free shapes (point / scan / aggregate) under block-mode on vs off,
+// cache-on, so the gap is purely row-at-a-time vs 256-row blocks with a
+// selection bitmap. The join shape is absent by construction — joins always
+// take the row path.
+func BenchmarkExecSelectBlockMode(b *testing.B) {
+	shapes := map[string]bool{"point": true, "scan": true, "aggregate": true}
+	for _, mode := range []string{"block", "row"} {
+		for _, c := range execCases {
+			if !shapes[c.name] {
+				continue
+			}
+			b.Run(mode+"/"+c.name, func(b *testing.B) {
+				s := benchSession(b)
+				prev := plan.SetBlockMode(mode == "block")
+				defer plan.SetBlockMode(prev)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

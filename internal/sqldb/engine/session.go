@@ -132,11 +132,11 @@ func (s *Session) execLocked(sql string, st sqlparse.Statement, args []sqldb.Val
 		case p.Select != nil:
 			return p.Select.Exec(args)
 		case p.Insert != nil:
-			return s.execInsert(p.Insert, args)
+			return s.execWrite(func() (*sqldb.ResultSet, error) { return s.execInsert(p.Insert, args) })
 		case p.Update != nil:
-			return s.execUpdate(p.Update, args)
+			return s.execWrite(func() (*sqldb.ResultSet, error) { return s.execUpdate(p.Update, args) })
 		default:
-			return s.execDelete(p.Delete, args)
+			return s.execWrite(func() (*sqldb.ResultSet, error) { return s.execDelete(p.Delete, args) })
 		}
 	case *sqlparse.CreateTableStmt:
 		return s.execCreateTable(x)
@@ -159,7 +159,11 @@ func (s *Session) execLocked(sql string, st sqlparse.Statement, args []sqldb.Val
 		if s.txn == nil {
 			return &sqldb.ResultSet{}, nil
 		}
+		// The whole undo replay is one publication scope: readers see the
+		// rollback atomically, never a half-undone transaction.
+		s.db.store.BeginStmt()
 		err := s.txn.Rollback()
+		s.db.store.EndStmt()
 		s.txn = nil
 		return &sqldb.ResultSet{}, err
 	default:
@@ -190,6 +194,16 @@ func (s *Session) execCreateIndex(st *sqlparse.CreateIndexStmt) (*sqldb.ResultSe
 		return nil, err
 	}
 	return &sqldb.ResultSet{}, nil
+}
+
+// execWrite runs one mutating statement inside an MVCC publication scope:
+// every row the statement touches carries one version stamp and becomes
+// visible to snapshots atomically when the scope closes — a concurrent
+// snapshot reader never sees half a multi-row INSERT or UPDATE.
+func (s *Session) execWrite(fn func() (*sqldb.ResultSet, error)) (*sqldb.ResultSet, error) {
+	s.db.store.BeginStmt()
+	defer s.db.store.EndStmt()
+	return fn()
 }
 
 func (s *Session) execInsert(p *plan.InsertPlan, args []sqldb.Value) (*sqldb.ResultSet, error) {

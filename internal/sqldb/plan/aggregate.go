@@ -291,44 +291,66 @@ type groupState struct {
 	sample []sqldb.Value // a representative source row for group-key output
 }
 
-// exec buckets rows, accumulates aggregates, and renders output rows in
-// first-seen group order.
-func (p *aggPlan) exec(rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultSet, error) {
-	var groups []*groupState
-	set := newRowSet(16)
-	keyVals := make([]sqldb.Value, len(p.groupBy))
-	newGroup := func(sample []sqldb.Value) *groupState {
-		g := &groupState{sample: sample, aggs: make([]aggState, len(p.calls))}
-		for i := range g.aggs {
-			g.aggs[i].call = &p.calls[i]
-		}
-		return g
+// aggRun is an in-flight aggregation: rows stream in through add (one at a
+// time from the row executor, a block's survivors at a time from the block
+// executor) and finish renders the output. Group samples alias the source
+// rows handed to add — safe because source rows are immutable stored
+// images (or freshly built join rows).
+type aggRun struct {
+	p       *aggPlan
+	groups  []*groupState
+	set     *rowSet
+	keyVals []sqldb.Value
+}
+
+func (p *aggPlan) newRun() *aggRun {
+	return &aggRun{
+		p:       p,
+		set:     newRowSet(16),
+		keyVals: make([]sqldb.Value, len(p.groupBy)),
 	}
-	for _, row := range rows {
-		for i, fn := range p.groupBy {
-			v, err := fn(row, args)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[i] = v
+}
+
+func (r *aggRun) newGroup(sample []sqldb.Value) *groupState {
+	g := &groupState{sample: sample, aggs: make([]aggState, len(r.p.calls))}
+	for i := range g.aggs {
+		g.aggs[i].call = &r.p.calls[i]
+	}
+	return g
+}
+
+// add buckets one source row and accumulates every aggregate call.
+func (r *aggRun) add(row, args []sqldb.Value) error {
+	for i, fn := range r.p.groupBy {
+		v, err := fn(row, args)
+		if err != nil {
+			return err
 		}
-		idx, fresh := set.Add(keyVals)
-		var g *groupState
-		if fresh {
-			g = newGroup(row)
-			groups = append(groups, g)
-		} else {
-			g = groups[idx]
-		}
-		for i := range g.aggs {
-			if err := g.aggs[i].add(row, args); err != nil {
-				return nil, err
-			}
+		r.keyVals[i] = v
+	}
+	idx, fresh := r.set.Add(r.keyVals)
+	var g *groupState
+	if fresh {
+		g = r.newGroup(row)
+		r.groups = append(r.groups, g)
+	} else {
+		g = r.groups[idx]
+	}
+	for i := range g.aggs {
+		if err := g.aggs[i].add(row, args); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// finish renders output rows in first-seen group order, applying HAVING.
+func (r *aggRun) finish(args []sqldb.Value) (*sqldb.ResultSet, error) {
+	p := r.p
+	groups := r.groups
 	// A global aggregate with no rows still yields one row.
 	if len(p.groupBy) == 0 && len(groups) == 0 {
-		groups = append(groups, newGroup(nil))
+		groups = append(groups, r.newGroup(nil))
 	}
 
 	rs := &sqldb.ResultSet{Cols: p.cols}
@@ -357,4 +379,16 @@ func (p *aggPlan) exec(rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultS
 		rs.Rows = append(rs.Rows, out)
 	}
 	return rs, nil
+}
+
+// exec buckets rows, accumulates aggregates, and renders output rows in
+// first-seen group order.
+func (p *aggPlan) exec(rows [][]sqldb.Value, args []sqldb.Value) (*sqldb.ResultSet, error) {
+	run := p.newRun()
+	for _, row := range rows {
+		if err := run.add(row, args); err != nil {
+			return nil, err
+		}
+	}
+	return run.finish(args)
 }

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb/sqlparse"
 	"repro/internal/sqldb/storage"
@@ -61,9 +62,12 @@ type cacheEntry struct {
 
 // Cache is a per-database compiled-plan cache keyed by (SQL text, schema
 // epoch). DDL bumps the store's epoch; stale entries recompile lazily on
-// next use. The cache is concurrency-safe on its own mutex — callers
-// additionally hold the store lock across Prepare-and-execute, which is
-// what makes a returned plan safe to run (plans alias table metadata).
+// next use. The map is guarded by an RWMutex and the counters are atomics,
+// so the hot hit path — every statement of every parallel snapshot worker —
+// takes only a read lock. Callers additionally hold either the store's
+// writer mutex or its structural read lock across Prepare-and-execute,
+// which is what makes a returned plan safe to run (plans alias table
+// metadata, which only changes under the structural write lock).
 //
 // Eviction is deliberately absent: the workloads are small template sets,
 // and the harness favours predictable steady-state behaviour over bounded
@@ -71,9 +75,12 @@ type cacheEntry struct {
 type Cache struct {
 	store *storage.Store
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[string]cacheEntry
-	stats   CacheStats
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
 }
 
 // NewCache creates an empty plan cache over store.
@@ -84,27 +91,25 @@ func NewCache(store *storage.Store) *Cache {
 // Prepare returns the compiled plan for (sql, st), compiling on first
 // sight or when the schema epoch moved since the cached compile. An empty
 // sql key (a caller holding only an AST) and a disabled cache both compile
-// afresh. The caller must hold the store lock.
+// afresh. The caller must hold the store's writer mutex or its structural
+// read lock.
 func (c *Cache) Prepare(sql string, st sqlparse.Statement) *Prepared {
 	if sql == "" || !CachingEnabled() {
-		c.mu.Lock()
-		c.stats.Misses++
-		c.mu.Unlock()
+		c.misses.Add(1)
 		return compile(st, c.store)
 	}
 	epoch := c.store.Epoch()
-	c.mu.Lock()
+	c.mu.RLock()
 	e, ok := c.entries[sql]
+	c.mu.RUnlock()
 	if ok && e.epoch == epoch {
-		c.stats.Hits++
-		c.mu.Unlock()
+		c.hits.Add(1)
 		return e.p
 	}
 	if ok {
-		c.stats.Invalidations++
+		c.invalidations.Add(1)
 	}
-	c.stats.Misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 
 	p := compile(st, c.store)
 
@@ -116,21 +121,23 @@ func (c *Cache) Prepare(sql string, st sqlparse.Statement) *Prepared {
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (cached plans are kept).
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = CacheStats{}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.invalidations.Store(0)
 }
 
 // Len reports how many distinct SQL texts hold cached plans.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.entries)
 }

@@ -162,14 +162,29 @@ func colIndex(cols []string, name string) (int, bool) {
 	return 0, false
 }
 
-// Exec runs the plan. The caller must hold the store lock.
+// Exec runs the plan against the latest store state. The caller must hold
+// the store lock.
 func (p *SelectPlan) Exec(args []sqldb.Value) (*sqldb.ResultSet, error) {
+	return p.exec(args, nil)
+}
+
+// ExecSnap runs the plan against a pinned snapshot. The caller holds the
+// store's structural read lock, not the writer mutex: snapshot executions
+// run concurrently with each other while writes stay serialized.
+func (p *SelectPlan) ExecSnap(args []sqldb.Value, snap *storage.Snap) (*sqldb.ResultSet, error) {
+	return p.exec(args, snap)
+}
+
+func (p *SelectPlan) exec(args []sqldb.Value, snap *storage.Snap) (*sqldb.ResultSet, error) {
+	if len(p.joins) == 0 && BlockModeEnabled() {
+		return p.execBlock(args, snap)
+	}
 	scanned := 0
-	rows := p.sourceRows(args, &scanned)
+	rows := p.sourceRows(args, snap, &scanned)
 
 	var err error
 	for i := range p.joins {
-		rows, err = p.joins[i].exec(p.env.width, rows, args, &scanned)
+		rows, err = p.joins[i].exec(p.env.width, rows, args, snap, &scanned)
 		if err != nil {
 			return nil, err
 		}
@@ -209,10 +224,16 @@ func (p *SelectPlan) Exec(args []sqldb.Value) (*sqldb.ResultSet, error) {
 		}
 	}
 
+	p.finishRows(rs)
+	return rs, nil
+}
+
+// finishRows applies the DISTINCT/OFFSET/LIMIT tail shared by the row and
+// block executors.
+func (p *SelectPlan) finishRows(rs *sqldb.ResultSet) {
 	if p.distinct {
 		rs.Rows = distinctRows(rs.Rows)
 	}
-
 	if p.offset > 0 {
 		if p.offset >= len(rs.Rows) {
 			rs.Rows = nil
@@ -223,7 +244,6 @@ func (p *SelectPlan) Exec(args []sqldb.Value) (*sqldb.ResultSet, error) {
 	if p.limit >= 0 && len(rs.Rows) > p.limit {
 		rs.Rows = rs.Rows[:p.limit]
 	}
-	return rs, nil
 }
 
 // values evaluates an access candidate's lookup values for this execution.
@@ -260,16 +280,16 @@ func (c *accessCand) values(args []sqldb.Value) ([]sqldb.Value, bool) {
 	return vals, true
 }
 
-// sourceRows produces the combined-width rows for the FROM table, through
-// the first viable access candidate or a scan.
-func (p *SelectPlan) sourceRows(args []sqldb.Value, scanned *int) [][]sqldb.Value {
+// sourceRows produces the source rows for the FROM table, through the
+// first viable access candidate or a scan. The emitted slices alias the
+// immutable stored images — zero copies; joins and projection only read
+// them (joins build fresh combined-width slices).
+func (p *SelectPlan) sourceRows(args []sqldb.Value, snap *storage.Snap, scanned *int) [][]sqldb.Value {
 	var rows [][]sqldb.Value
-	width := p.env.width
-	emit := func(r storage.Row) {
+	emit := func(r storage.Row) error {
 		*scanned++
-		row := make([]sqldb.Value, len(r), width)
-		copy(row, r)
-		rows = append(rows, row)
+		rows = append(rows, r)
+		return nil
 	}
 	for i := range p.access {
 		vals, ok := p.access[i].values(args)
@@ -277,23 +297,16 @@ func (p *SelectPlan) sourceRows(args []sqldb.Value, scanned *int) [][]sqldb.Valu
 			continue
 		}
 		for _, val := range vals {
-			for _, id := range p.from.Lookup(p.access[i].ord, val) {
-				if r, ok := p.from.Get(id); ok {
-					emit(r)
-				}
-			}
+			_ = p.from.LookupEach(p.access[i].ord, val, snap, emit)
 		}
 		return rows
 	}
-	p.from.Scan(func(_ storage.RowID, r storage.Row) bool {
-		emit(r)
-		return true
-	})
+	_ = p.from.ScanEach(snap, emit)
 	return rows
 }
 
 // exec extends each left row with matching rows from the join table.
-func (j *joinPlan) exec(width int, left [][]sqldb.Value, args []sqldb.Value, scanned *int) ([][]sqldb.Value, error) {
+func (j *joinPlan) exec(width int, left [][]sqldb.Value, args []sqldb.Value, snap *storage.Snap, scanned *int) ([][]sqldb.Value, error) {
 	var out [][]sqldb.Value
 	for _, lrow := range left {
 		matched := false
@@ -318,21 +331,12 @@ func (j *joinPlan) exec(width int, left [][]sqldb.Value, args []sqldb.Value, sca
 		if j.jOrd >= 0 {
 			key, kerr := j.leftKey(lrow, args)
 			if kerr == nil && key != nil {
-				for _, id := range j.t.Lookup(j.jOrd, key) {
-					if r, ok := j.t.Get(id); ok {
-						if err := tryRow(r); err != nil {
-							return nil, err
-						}
-					}
+				if err := j.t.LookupEach(j.jOrd, key, snap, tryRow); err != nil {
+					return nil, err
 				}
 			}
 		} else {
-			var err error
-			j.t.Scan(func(_ storage.RowID, r storage.Row) bool {
-				err = tryRow(r)
-				return err == nil
-			})
-			if err != nil {
+			if err := j.t.ScanEach(snap, tryRow); err != nil {
 				return nil, err
 			}
 		}
@@ -558,17 +562,12 @@ func exprHasAggregate(e sqlparse.Expr) bool {
 // expressions are evaluated against the corresponding source rows; for
 // aggregate queries they must reference output columns by name or alias.
 func (p *SelectPlan) orderResult(rs *sqldb.ResultSet, srcRows [][]sqldb.Value, args []sqldb.Value) error {
-	type keyed struct {
-		out  []sqldb.Value
-		keys []sqldb.Value
-	}
-	items := make([]keyed, len(rs.Rows))
-
+	keys := make([][]sqldb.Value, len(rs.Rows))
 	for i := range rs.Rows {
-		keys := make([]sqldb.Value, len(p.orderBy))
+		ks := make([]sqldb.Value, len(p.orderBy))
 		for k, ob := range p.orderBy {
 			if ob.outCol >= 0 {
-				keys[k] = rs.Rows[i][ob.outCol]
+				ks[k] = rs.Rows[i][ob.outCol]
 				continue
 			}
 			if p.orderAggErr {
@@ -581,9 +580,24 @@ func (p *SelectPlan) orderResult(rs *sqldb.ResultSet, srcRows [][]sqldb.Value, a
 			if err != nil {
 				return err
 			}
-			keys[k] = v
+			ks[k] = v
 		}
-		items[i] = keyed{out: rs.Rows[i], keys: keys}
+		keys[i] = ks
+	}
+	p.sortKeyed(rs, keys)
+	return nil
+}
+
+// sortKeyed stably sorts rs.Rows by precomputed per-row key vectors
+// (keys[i] aligns with rs.Rows[i], one key per ORDER BY term).
+func (p *SelectPlan) sortKeyed(rs *sqldb.ResultSet, keys [][]sqldb.Value) {
+	type keyed struct {
+		out  []sqldb.Value
+		keys []sqldb.Value
+	}
+	items := make([]keyed, len(rs.Rows))
+	for i := range rs.Rows {
+		items[i] = keyed{out: rs.Rows[i], keys: keys[i]}
 	}
 
 	sort.SliceStable(items, func(a, b int) bool {
@@ -603,7 +617,6 @@ func (p *SelectPlan) orderResult(rs *sqldb.ResultSet, srcRows [][]sqldb.Value, a
 	for i := range items {
 		rs.Rows[i] = items[i].out
 	}
-	return nil
 }
 
 // compareForSort orders values with NULLs first, incomparables equal.

@@ -1,9 +1,11 @@
 // Package storage implements the row store beneath the reproduction's SQL
 // engine: typed tables with auto-assigned row ids, hash indexes on primary
-// key and secondary columns, and undo-log transactions that give the engine
-// BEGIN/COMMIT/ROLLBACK semantics. The Sloth query store relies on the
-// transaction boundary behaviour (writes flush pending read batches) so the
-// storage layer must expose real transactional state.
+// key and secondary columns, undo-log transactions that give the engine
+// BEGIN/COMMIT/ROLLBACK semantics, and MVCC snapshot reads — epoch-stamped
+// row versions (see mvcc.go) so a read batch can pin a consistent snapshot
+// and execute in parallel with the single writer. The Sloth query store
+// relies on the transaction boundary behaviour (writes flush pending read
+// batches) so the storage layer must expose real transactional state.
 package storage
 
 import (
@@ -24,6 +26,9 @@ type Column struct {
 }
 
 // Row is one stored tuple; values align with the table's column order.
+// Stored row images are immutable: once a version is linked its slice is
+// never written again, which is what makes the read-only accessors
+// (RowAt, LookupEach, ScanEach) safe to alias.
 type Row []sqldb.Value
 
 // clone copies a row so callers can't alias stored state.
@@ -36,8 +41,9 @@ func (r Row) clone() Row {
 // RowID identifies a physical row within a table.
 type RowID int64
 
-// Table is a heap of rows plus its indexes. Access is serialized by the
-// owning Store's mutex.
+// Table is a heap of versioned rows plus its indexes. Mutations and
+// latest-reads are serialized by the owning Store's mutex; snapshot reads
+// run concurrently under the store's structural read lock.
 type Table struct {
 	Name    string
 	Columns []Column
@@ -45,16 +51,38 @@ type Table struct {
 	colIndex map[string]int // lower-cased column name -> ordinal
 	pkCol    int            // -1 when no primary key
 
-	rows   map[RowID]Row
-	nextID RowID
+	// rows maps id -> newest version (chain newest-first). A live row's
+	// head has to == liveEpoch; a deleted row keeps its dead chain until
+	// the sweep reclaims it.
+	rows     map[RowID]*version
+	liveRows int
+	nextID   RowID
+
+	// maxFrom is the highest version stamp ever created (monotonic). A
+	// snapshot at epoch >= maxFrom with no pending garbage can use the raw
+	// posting fast path: every posting id is a live, visible, single-image
+	// row whose indexed value matches.
+	maxFrom uint64
+
+	// garbage holds this table's deferred cleanup records in stamp order;
+	// inGCList marks registration with the store's sweep list. Guarded by
+	// the structural write lock (mutation/sweep context).
+	garbage  []gcRec
+	inGCList bool
 
 	// indexes maps column ordinal -> value -> posting list of row ids,
 	// kept sorted ascending. The primary key column always has an index.
-	// Slice postings replaced the earlier map[RowID]struct{} sets: row ids
-	// are assigned in increasing order, so maintenance is an O(1) append in
-	// the common case, and Lookup no longer sorts or allocates.
+	// Postings are supersets under MVCC: a superseded value's posting is
+	// removed by the deferred sweep, not inline, so lookups filter ids
+	// through visibility + value match whenever garbage is pending (and
+	// skip the filter on the pristine fast path).
 	indexes map[int]map[sqldb.Value][]RowID
 	unique  map[int]bool
+
+	// mv is the versioning state shared with the owning Store (standalone
+	// tables built by NewTable get their own, with publication after every
+	// mutation — the single-goroutine test configuration).
+	mv *mvccState
 
 	// schemaChanged, when set by the owning Store, is invoked on DDL against
 	// this table (AddIndex) so the store's schema epoch advances and cached
@@ -72,10 +100,11 @@ func NewTable(name string, cols []Column) (*Table, error) {
 		Columns:  cols,
 		colIndex: make(map[string]int, len(cols)),
 		pkCol:    -1,
-		rows:     make(map[RowID]Row),
+		rows:     make(map[RowID]*version),
 		nextID:   1,
 		indexes:  make(map[int]map[sqldb.Value][]RowID),
 		unique:   make(map[int]bool),
+		mv:       newMVCCState(new(sync.Mutex)),
 	}
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)
@@ -107,7 +136,7 @@ func (t *Table) ColOrdinal(name string) (int, bool) {
 func (t *Table) PKOrdinal() int { return t.pkCol }
 
 // NumRows reports the number of live rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return t.liveRows }
 
 // HasIndex reports whether column ordinal i is indexed.
 func (t *Table) HasIndex(i int) bool {
@@ -116,7 +145,8 @@ func (t *Table) HasIndex(i int) bool {
 }
 
 // AddIndex creates a hash index over the named column, populating it from
-// existing rows.
+// every stored version (dead-but-unswept images included, so snapshots
+// older than the DDL still find their rows through it).
 func (t *Table) AddIndex(col string, unique bool) error {
 	i, ok := t.ColOrdinal(col)
 	if !ok {
@@ -126,15 +156,27 @@ func (t *Table) AddIndex(col string, unique bool) error {
 		return fmt.Errorf("storage: table %q: column %q already indexed", t.Name, col)
 	}
 	idx := make(map[sqldb.Value][]RowID)
-	for id, row := range t.rows {
-		v := row[i]
-		if unique && v != nil && len(idx[v]) > 0 {
-			return fmt.Errorf("storage: table %q: duplicate value %v violates unique index on %q", t.Name, v, col)
+	if unique {
+		seen := make(map[sqldb.Value]bool)
+		for _, head := range t.rows {
+			if head.to != liveEpoch || head.row[i] == nil {
+				continue
+			}
+			if seen[head.row[i]] {
+				return fmt.Errorf("storage: table %q: duplicate value %v violates unique index on %q", t.Name, head.row[i], col)
+			}
+			seen[head.row[i]] = true
 		}
-		addToIndex(idx, v, id)
 	}
+	for id, head := range t.rows {
+		for v := head; v != nil; v = v.prev {
+			addToIndex(idx, v.row[i], id)
+		}
+	}
+	t.mv.rw.Lock()
 	t.indexes[i] = idx
 	t.unique[i] = unique
+	t.mv.rw.Unlock()
 	if t.schemaChanged != nil {
 		t.schemaChanged()
 	}
@@ -182,6 +224,28 @@ func removeFromIndex(idx map[sqldb.Value][]RowID, v sqldb.Value, id RowID) {
 	idx[v] = append(ids[:pos], ids[pos+1:]...)
 }
 
+// uniqueConflict reports whether a live row other than exclude already
+// holds v in unique column ord. With pending garbage the posting list may
+// carry dead ids, so the check walks to live heads. Writer context.
+func (t *Table) uniqueConflict(ord int, v sqldb.Value, exclude RowID) bool {
+	ids := t.indexes[ord][v]
+	if len(ids) == 0 {
+		return false
+	}
+	if len(t.garbage) == 0 {
+		return len(ids) > 1 || ids[0] != exclude
+	}
+	for _, id := range ids {
+		if id == exclude {
+			continue
+		}
+		if head := t.rows[id]; head != nil && head.to == liveEpoch && head.row[ord] == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Insert validates, coerces, and stores a row, returning its id.
 func (t *Table) Insert(vals Row) (RowID, error) {
 	if len(vals) != len(t.Columns) {
@@ -195,61 +259,125 @@ func (t *Table) Insert(vals Row) (RowID, error) {
 		}
 		row[i] = cv
 	}
-	for i, idx := range t.indexes {
-		if t.unique[i] && row[i] != nil {
-			if set, ok := idx[row[i]]; ok && len(set) > 0 {
-				return 0, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
-			}
+	for i := range t.indexes {
+		if t.unique[i] && row[i] != nil && t.uniqueConflict(i, row[i], -1) {
+			return 0, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
 		}
 	}
+	t.mv.rw.Lock()
+	stamp := t.mv.stamp()
 	id := t.nextID
 	t.nextID++
-	t.rows[id] = row
+	t.rows[id] = &version{row: row, from: stamp, to: liveEpoch}
 	for i, idx := range t.indexes {
 		addToIndex(idx, row[i], id)
 	}
+	t.liveRows++
+	if stamp > t.maxFrom {
+		t.maxFrom = stamp
+	}
+	t.mv.rw.Unlock()
+	t.mv.autoPublish()
 	return id, nil
+}
+
+// prepend installs row as the new live head for id — the shared core of
+// Update, insertAt, and restore. Whatever it supersedes (a live image, or
+// a dead chain under a rollback re-insert) becomes deferred garbage.
+// Caller holds the structural write lock.
+func (t *Table) prepend(id RowID, row Row) {
+	stamp := t.mv.stamp()
+	prev := t.rows[id]
+	wasLive := prev != nil && prev.to == liveEpoch
+	if wasLive {
+		prev.to = stamp
+	}
+	t.rows[id] = &version{row: row, from: stamp, to: liveEpoch, prev: prev}
+	for i, idx := range t.indexes {
+		addToIndex(idx, row[i], id)
+	}
+	if stamp > t.maxFrom {
+		t.maxFrom = stamp
+	}
+	if prev != nil {
+		t.addGarbage(id, prev.to)
+	}
+	if !wasLive {
+		t.liveRows++
+	}
 }
 
 // insertAt restores a row under a specific id (transaction rollback path).
 func (t *Table) insertAt(id RowID, row Row) {
-	t.rows[id] = row
-	for i, idx := range t.indexes {
-		addToIndex(idx, row[i], id)
-	}
+	t.mv.rw.Lock()
+	t.prepend(id, row)
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
+	t.mv.rw.Unlock()
+	t.mv.autoPublish()
 }
 
-// Get returns a copy of the row with the given id.
+// restore replaces the live image of id with old (transaction rollback),
+// bypassing coercion and unique validation: the old image was valid when
+// logged. A row deleted later in the transaction (already re-inserted by
+// its own undo entry, or absent) restores through the same prepend.
+func (t *Table) restore(id RowID, old Row) {
+	t.insertAt(id, old)
+}
+
+// Get returns a copy of the live row with the given id.
 func (t *Table) Get(id RowID) (Row, bool) {
-	row, ok := t.rows[id]
-	if !ok {
+	head := t.rows[id]
+	if head == nil || head.to != liveEpoch {
 		return nil, false
 	}
-	return row.clone(), true
+	return head.row.clone(), true
+}
+
+// RowAt returns the stored row image visible to snap (the live image when
+// snap is nil). The returned slice is the immutable stored image: callers
+// must treat it as read-only.
+func (t *Table) RowAt(id RowID, snap *Snap) (Row, bool) {
+	head := t.rows[id]
+	if head == nil {
+		return nil, false
+	}
+	if snap == nil {
+		if head.to != liveEpoch {
+			return nil, false
+		}
+		return head.row, true
+	}
+	r := visibleRow(head, snap.epoch)
+	return r, r != nil
 }
 
 // Delete removes a row, returning the removed contents for undo logging.
+// Under MVCC the image is only superseded (to-stamped); the chain and its
+// postings are reclaimed by the sweep once no snapshot can see them.
 func (t *Table) Delete(id RowID) (Row, bool) {
-	row, ok := t.rows[id]
-	if !ok {
+	head := t.rows[id]
+	if head == nil || head.to != liveEpoch {
 		return nil, false
 	}
-	for i, idx := range t.indexes {
-		removeFromIndex(idx, row[i], id)
-	}
-	delete(t.rows, id)
-	return row, true
+	t.mv.rw.Lock()
+	stamp := t.mv.stamp()
+	head.to = stamp
+	t.liveRows--
+	t.addGarbage(id, stamp)
+	t.mv.rw.Unlock()
+	t.mv.autoPublish()
+	return head.row, true
 }
 
 // Update replaces the row contents, returning the previous contents.
 func (t *Table) Update(id RowID, vals Row) (Row, error) {
-	old, ok := t.rows[id]
-	if !ok {
+	head := t.rows[id]
+	if head == nil || head.to != liveEpoch {
 		return nil, fmt.Errorf("storage: table %q: no row %d", t.Name, id)
 	}
+	old := head.row
 	row := make(Row, len(vals))
 	for i, v := range vals {
 		cv, err := sqldb.Coerce(sqldb.Normalize(v), t.Columns[i].Type)
@@ -259,51 +387,150 @@ func (t *Table) Update(id RowID, vals Row) (Row, error) {
 		row[i] = cv
 	}
 	for i := range t.indexes {
-		if t.unique[i] && row[i] != nil && !sqldb.Equal(row[i], old[i]) {
-			if set, ok := t.indexes[i][row[i]]; ok && len(set) > 0 {
-				return nil, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
-			}
+		if t.unique[i] && row[i] != nil && !sqldb.Equal(row[i], old[i]) && t.uniqueConflict(i, row[i], id) {
+			return nil, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
 		}
 	}
-	for i, idx := range t.indexes {
-		removeFromIndex(idx, old[i], id)
-		addToIndex(idx, row[i], id)
-	}
-	t.rows[id] = row
+	t.mv.rw.Lock()
+	t.prepend(id, row)
+	t.mv.rw.Unlock()
+	t.mv.autoPublish()
 	return old, nil
 }
 
-// Lookup returns the ids of rows whose indexed column i equals v, in
-// ascending id order for determinism. The returned slice aliases the
-// index's posting list: it is valid until the next mutation of the table
-// and must not be modified by the caller.
+// Lookup returns the ids of live rows whose indexed column i equals v, in
+// ascending id order for determinism. On the pristine fast path (no
+// pending garbage) the returned slice aliases the index's posting list: it
+// is valid until the next mutation of the table and must not be modified
+// by the caller. With garbage pending the posting superset is filtered to
+// ids whose live image actually holds v, so results — and scanned-row
+// counts derived from them — never depend on sweep timing.
 func (t *Table) Lookup(i int, v sqldb.Value) []RowID {
 	idx, ok := t.indexes[i]
 	if !ok {
 		return nil
 	}
-	return idx[sqldb.Normalize(v)]
+	nv := sqldb.Normalize(v)
+	ids := idx[nv]
+	if len(t.garbage) == 0 || len(ids) == 0 {
+		return ids
+	}
+	out := make([]RowID, 0, len(ids))
+	for _, id := range ids {
+		if head := t.rows[id]; head != nil && head.to == liveEpoch && head.row[i] == nv {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// LookupEach calls fn with the stored row image of every row visible to
+// snap (live rows when snap is nil) whose indexed column ord equals v, in
+// ascending id order. Rows are passed without cloning: read-only. Stops on
+// the first error, returning it.
+func (t *Table) LookupEach(ord int, v sqldb.Value, snap *Snap, fn func(Row) error) error {
+	idx, ok := t.indexes[ord]
+	if !ok {
+		return nil
+	}
+	nv := sqldb.Normalize(v)
+	ids := idx[nv]
+	if len(ids) == 0 {
+		return nil
+	}
+	if snap == nil {
+		if len(t.garbage) == 0 {
+			for _, id := range ids {
+				if err := fn(t.rows[id].row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, id := range ids {
+			if head := t.rows[id]; head != nil && head.to == liveEpoch && head.row[ord] == nv {
+				if err := fn(head.row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	e := snap.epoch
+	if len(t.garbage) == 0 && e >= t.maxFrom {
+		// Pristine and fully visible: every posting id is a live single-image
+		// row created at or before the snapshot epoch.
+		for _, id := range ids {
+			if err := fn(t.rows[id].row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range ids {
+		if r := visibleRow(t.rows[id], e); r != nil && r[ord] == nv {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Scan calls fn for every live row in ascending id order. The row passed to
 // fn must not be mutated.
 func (t *Table) Scan(fn func(RowID, Row) bool) {
 	ids := make([]RowID, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
+	for id, head := range t.rows {
+		if head.to == liveEpoch {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	for _, id := range ids {
-		if !fn(id, t.rows[id]) {
+		if !fn(id, t.rows[id].row) {
 			return
 		}
 	}
 }
 
-// Store is a named collection of tables guarded by one mutex; the engine
-// serializes statement execution through it. A single global lock is
-// adequate because the reproduction measures round trips and modeled costs,
-// not lock scalability.
+// ScanEach calls fn with the stored (read-only) image of every row visible
+// to snap (live rows when snap is nil), in ascending id order. Stops on
+// the first error, returning it.
+func (t *Table) ScanEach(snap *Snap, fn func(Row) error) error {
+	type idRow struct {
+		id  RowID
+		row Row
+	}
+	items := make([]idRow, 0, len(t.rows))
+	if snap == nil {
+		for id, head := range t.rows {
+			if head.to == liveEpoch {
+				items = append(items, idRow{id, head.row})
+			}
+		}
+	} else {
+		e := snap.epoch
+		for id, head := range t.rows {
+			if r := visibleRow(head, e); r != nil {
+				items = append(items, idRow{id, r})
+			}
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].id < items[b].id })
+	for i := range items {
+		if err := fn(items[i].row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store is a named collection of tables guarded by one writer mutex; the
+// engine serializes mutations and latest-reads through it. Snapshot reads
+// do NOT take it: they pin an epoch (Snapshot) and run under the
+// structural read lock (ReadLock), concurrent with each other and blocked
+// only for the instants a writer restructures a table.
 type Store struct {
 	mu     sync.Mutex
 	tables map[string]*Table
@@ -312,25 +539,69 @@ type Store struct {
 	// prepared-plan cache keys compiled plans by (SQL text, epoch): a DDL
 	// statement bumps the epoch, invalidating every cached plan lazily.
 	epoch atomic.Uint64
+
+	mv *mvccState
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{tables: make(map[string]*Table)}
+	s := &Store{tables: make(map[string]*Table)}
+	s.mv = newMVCCState(&s.mu)
+	return s
 }
 
-// Lock acquires the store mutex. Callers pair it with Unlock.
+// Lock acquires the writer mutex. Callers pair it with Unlock.
 func (s *Store) Lock() { s.mu.Lock() }
 
-// Unlock releases the store mutex.
+// Unlock releases the writer mutex.
 func (s *Store) Unlock() { s.mu.Unlock() }
+
+// ReadLock acquires the structural lock in read mode — the snapshot
+// execution path. Pair with ReadUnlock around one statement.
+func (s *Store) ReadLock() { s.mv.rw.RLock() }
+
+// ReadUnlock releases the structural read lock.
+func (s *Store) ReadUnlock() { s.mv.rw.RUnlock() }
+
+// Snapshot pins the current committed epoch for consistent reads. Release
+// it when done.
+func (s *Store) Snapshot() *Snap { return s.mv.acquire() }
+
+// CommittedEpoch reports the published MVCC epoch (safe without locks).
+func (s *Store) CommittedEpoch() uint64 { return s.mv.committed.Load() }
+
+// ActiveSnapshots reports how many snapshots are currently pinned.
+func (s *Store) ActiveSnapshots() int {
+	s.mv.snapMu.Lock()
+	defer s.mv.snapMu.Unlock()
+	n := 0
+	for _, c := range s.mv.snaps {
+		n += c
+	}
+	return n
+}
+
+// BeginStmt opens a statement publication scope: every mutation until the
+// matching EndStmt carries one stamp and becomes visible atomically. The
+// caller holds the writer mutex. Scopes nest (a transaction rollback spans
+// many restores).
+func (s *Store) BeginStmt() { s.mv.depth++ }
+
+// EndStmt closes the scope, publishing the statement's mutations and
+// sweeping whatever garbage no snapshot still pins.
+func (s *Store) EndStmt() {
+	s.mv.depth--
+	if s.mv.depth == 0 {
+		s.mv.publish()
+	}
+}
 
 // Epoch reports the store's schema epoch. It is safe to read without the
 // store lock.
 func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // CreateTable registers a new table and bumps the schema epoch. The caller
-// must hold the lock.
+// must hold the writer mutex.
 func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	key := strings.ToLower(name)
 	if _, exists := s.tables[key]; exists {
@@ -340,13 +611,17 @@ func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mv = s.mv // share the store's versioning state and structural lock
 	t.schemaChanged = func() { s.epoch.Add(1) }
+	s.mv.rw.Lock()
 	s.tables[key] = t
+	s.mv.rw.Unlock()
 	s.epoch.Add(1)
 	return t, nil
 }
 
-// Table resolves a table by name (case-insensitive). Caller holds the lock.
+// Table resolves a table by name (case-insensitive). Callers hold the
+// writer mutex or the structural read lock.
 func (s *Store) Table(name string) (*Table, bool) {
 	t, ok := s.tables[strings.ToLower(name)]
 	return t, ok

@@ -79,18 +79,7 @@ func (tx *Txn) Rollback() error {
 		case undoDelete:
 			e.table.insertAt(e.id, e.old)
 		case undoUpdate:
-			// Restore prior image directly, bypassing validation (the old
-			// image was valid when logged).
-			cur, ok := e.table.rows[e.id]
-			if !ok {
-				e.table.insertAt(e.id, e.old)
-				continue
-			}
-			for ci, idx := range e.table.indexes {
-				removeFromIndex(idx, cur[ci], e.id)
-				addToIndex(idx, e.old[ci], e.id)
-			}
-			e.table.rows[e.id] = e.old
+			e.table.restore(e.id, e.old)
 		}
 	}
 	tx.log = nil
