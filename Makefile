@@ -1,0 +1,42 @@
+# Convenience targets mirroring the CI gates (.github/workflows/ci.yml).
+
+GO      ?= go
+SLOTHVET = bin/slothvet
+
+.PHONY: all build test race vet fuzz bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs the standard go vet checks plus slothvet, the repo's own
+# invariant analyzers (wallclock, stmtscope, snapwrite, mapdet,
+# atomicfield — see DESIGN.md §11). Both are blocking, same as CI.
+vet: $(SLOTHVET)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(SLOTHVET) ./...
+
+$(SLOTHVET): FORCE
+	@mkdir -p bin
+	$(GO) build -o $(SLOTHVET) ./cmd/slothvet
+
+.PHONY: FORCE
+FORCE:
+
+# Short mutation budgets; the seed corpora already run under `make test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/sqldb/sqlparse
+	$(GO) test -run '^$$' -fuzz FuzzLazyc -fuzztime 30s ./internal/lazyc
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+clean:
+	rm -rf bin

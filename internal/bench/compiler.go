@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -97,11 +98,19 @@ func OptimizationAblation(repeats int) (AblationReport, error) {
 		{"SC+TC+BD", lazyc.AllOptimizations()},
 	}
 	pages := lazyc.BenchmarkPageSources()
+	// Fixed page order: which page's error surfaces, and the execution
+	// sequence itself, must not depend on map iteration.
+	names := make([]string, 0, len(pages))
+	for name := range pages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	rep := AblationReport{Repeats: repeats}
 	for _, cfg := range configs {
 		var total time.Duration
 		var allocs, trips int64
-		for name, src := range pages {
+		for _, name := range names {
+			src := pages[name]
 			prog, err := lazyc.ParseProgram(src)
 			if err != nil {
 				return rep, fmt.Errorf("bench: page %s: %w", name, err)

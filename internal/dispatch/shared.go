@@ -29,12 +29,14 @@ const DefaultWindowCap = 256
 // Window close is governed by a VIRTUAL-TIME policy (SetWindow): it
 // depends only on the sessions' own progress — which batch each session
 // has reached, and the virtual arrival times stamped by their simulated
-// clocks — never on the host's wall clock. An earlier design held windows
-// open for a real-time grace (`time.After`) so concurrent submitters could
-// meet; that made window counts, coalescing stats, and therefore the
+// clocks — never on the host's wall clock. An earlier design kept windows
+// open for a host-timed grace period so concurrent submitters could meet;
+// that made window counts, coalescing stats, and therefore the
 // shared-dispatch throughput numbers host-speed-dependent and CI-flaky.
 // Under the virtual-time policy two identical runs produce identical
-// windows, bit for bit, on any host.
+// windows, bit for bit, on any host — and the wallclock analyzer in
+// internal/lint now rejects any reintroduction of host timers here at
+// vet time.
 //
 // A Hub is safe for concurrent use; the window mutex serializes closes.
 type Hub struct {

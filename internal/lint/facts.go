@@ -1,0 +1,61 @@
+package lint
+
+import "encoding/json"
+
+// Facts cross two very different process shapes: the in-process drivers
+// (loader, linttest) keep them live, while the vettool driver serializes
+// each package's fact map to its .vetx output file and reloads dependency
+// facts from the files cmd/go hands it. JSON is the single wire format for
+// both so an analyzer cannot accidentally depend on in-process-only state.
+
+// decodeFact copies raw into out through JSON — the same round trip the
+// vettool driver performs, applied in-process so both drivers agree.
+func decodeFact(raw any, out any) bool {
+	b, err := json.Marshal(raw)
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(b, out) == nil
+}
+
+// EncodeFacts serializes one package's fact map (analyzer name -> fact)
+// for a .vetx file. An empty map encodes as "{}" so the output file always
+// exists and is valid.
+func EncodeFacts(fs *factSet, pkgPath string) ([]byte, error) {
+	m := fs.byPkg[pkgPath]
+	if m == nil {
+		m = map[string]any{}
+	}
+	return json.Marshal(m)
+}
+
+// DecodeFacts loads a dependency package's fact map from .vetx bytes into
+// fs under pkgPath. Unknown or empty payloads load as empty maps: a
+// dependency analyzed by an older slothvet build must not fail the run.
+func DecodeFacts(fs *factSet, pkgPath string, data []byte) error {
+	var m map[string]json.RawMessage
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &m); err != nil {
+			return err
+		}
+	}
+	dst := make(map[string]any, len(m))
+	for k, v := range m {
+		dst[k] = v
+	}
+	fs.byPkg[pkgPath] = dst
+	return nil
+}
+
+// NewFactSet builds an empty fact store whose import path decodes raw
+// JSON messages (vetx inputs) as well as live values.
+func NewFactSet() *factSet {
+	fs := newFactSet()
+	fs.decode = func(raw any, out any) bool {
+		if msg, ok := raw.(json.RawMessage); ok {
+			return json.Unmarshal(msg, out) == nil
+		}
+		return decodeFact(raw, out)
+	}
+	return fs
+}

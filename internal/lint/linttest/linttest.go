@@ -1,0 +1,100 @@
+// Package linttest runs slothvet analyzers over fixture source trees and
+// checks their diagnostics against expectations written in the fixtures
+// themselves — the analysistest idiom, reimplemented over the in-process
+// loader because x/tools is unavailable offline.
+//
+// Expectations are comments:
+//
+//	x := bad() // want "substring of the diagnostic message"
+//	// wantprev "substring"   (refers to the line above — used when the
+//	//                         flagged line is itself a comment)
+//
+// Every diagnostic must be claimed by an expectation on its line, every
+// expectation must claim at least one diagnostic, and multiple quoted
+// strings after one want each stand alone.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	wantRe = regexp.MustCompile(`^//\s*want(prev)?\s+(.+)$`)
+	strRe  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+	used   bool
+}
+
+// Run loads the fixture tree rooted at root (package import paths are the
+// root-relative directory paths), applies the analyzers, and fails the
+// test on any mismatch between diagnostics and want comments.
+func Run(t *testing.T, root string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatalf("abs %s: %v", root, err)
+	}
+	loaded, err := lint.LoadTree(abs, "")
+	if err != nil {
+		t.Fatalf("load %s: %v", root, err)
+	}
+	diags, err := loaded.Run(analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var wants []*expectation
+	for _, u := range loaded.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := loaded.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] == "prev" {
+						line--
+					}
+					for _, q := range strRe.FindAllString(m[2], -1) {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: line, substr: s})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.used = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoInvariants runs the full slothvet suite over the module itself:
+// the tree must be clean, so a regression against any invariant fails the
+// ordinary test run, not just the CI vet step.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := lint.LoadTree(root, "repro")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := loaded.Run(lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

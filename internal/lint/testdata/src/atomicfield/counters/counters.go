@@ -1,0 +1,50 @@
+// Package counters is the atomicfield fixture: fields touched by
+// sync/atomic must be touched that way everywhere.
+package counters
+
+import "sync/atomic"
+
+type Stats struct {
+	hits   int64
+	misses int64
+}
+
+// Hit makes hits an atomic field.
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// ReadGood loads atomically: fine.
+func (s *Stats) ReadGood() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// ReadBad races with Hit.
+func (s *Stats) ReadBad() int64 {
+	return s.hits // want "non-atomic access to field hits"
+}
+
+// WriteBad is the store side of the same race.
+func (s *Stats) WriteBad() {
+	s.hits = 0 // want "non-atomic access to field hits"
+}
+
+// MissesPlain never uses atomics on misses, so plain access is fine.
+func (s *Stats) MissesPlain() int64 {
+	s.misses++
+	return s.misses
+}
+
+// Snapshot documents a sanctioned plain read.
+func (s *Stats) Snapshot() int64 {
+	//slothvet:allow atomicfield(fixture: read under quiescence in teardown)
+	return s.hits
+}
+
+// Shared is exported with an exported atomic field, so the fact crosses
+// packages.
+type Shared struct{ N int64 }
+
+func Bump(sh *Shared) {
+	atomic.AddInt64(&sh.N, 1)
+}

@@ -1,0 +1,20 @@
+// Package reader accesses an upstream atomic field non-atomically: the
+// violation is caught through the counters package's exported fact, with
+// no sync/atomic use in this package at all.
+package reader
+
+import "counters"
+
+// PeekBad reads counters.Shared.N without atomics.
+func PeekBad(sh *counters.Shared) int64 {
+	return sh.N // want "non-atomic access to field counters.N"
+}
+
+// Sum only touches local state: fine.
+func Sum(vals []int64) int64 {
+	var n int64
+	for _, v := range vals {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+// Package mapdet is the map-determinism fixture: ranges over maps that
+// feed slices, output, or errors, with and without the sanctioned sort.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadAppend accumulates keys and returns them unsorted.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration without a deterministic sort"
+	}
+	return keys
+}
+
+// GoodSorted is the sorted-after-range false-positive check.
+func GoodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortInts is a local sort helper; the matcher recognizes it by name.
+func sortInts(s []int) {
+	sort.Ints(s)
+}
+
+// GoodLocalSort sorts through the local helper.
+func GoodLocalSort(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	return ids
+}
+
+// BadEmit prints straight from the loop.
+func BadEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "emits output directly from map iteration"
+	}
+}
+
+// BadReturn builds the returned error from the iteration variables:
+// which entry gets reported depends on map order.
+func BadReturn(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("negative value %d under %s", v, k) // want "which element is reported depends on map order"
+		}
+	}
+	return nil
+}
+
+// GoodFold is order-insensitive: counters and folds are not flagged.
+func GoodFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodLoopLocal appends to a slice declared inside the loop body.
+func GoodLoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// AllowedEmit documents a deliberately order-free dump.
+func AllowedEmit(m map[string]int) {
+	for k := range m {
+		//slothvet:allow mapdet(fixture: debug dump, consumer is order-free)
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,17 @@
+// Package storage stubs the mutation surface snapwrite seeds from.
+package storage
+
+type Store struct{ depth int }
+
+func (s *Store) BeginStmt() { s.depth++ }
+func (s *Store) EndStmt()   { s.depth-- }
+func (s *Store) Lock()      {}
+
+type Table struct{ rows []int }
+
+func (t *Table) Insert(v int) { t.rows = append(t.rows, v) }
+func (t *Table) Delete(v int) { t.rows = t.rows[1:] }
+func (t *Table) Len() int     { return len(t.rows) }
+func (t *Table) Get(i int) int {
+	return t.rows[i]
+}

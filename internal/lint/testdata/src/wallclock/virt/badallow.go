@@ -1,0 +1,22 @@
+package virt
+
+import "time"
+
+// Malformed and reasonless annotations are findings themselves, and they
+// do not suppress the diagnostic they sit next to.
+
+func MissingReason() time.Time {
+	//slothvet:allow wallclock()
+	// wantprev "without a reason"
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+func UnknownAnalyzer() {
+	//slothvet:allow nosuch(some reason)
+	// wantprev "unknown analyzer"
+}
+
+func Malformed() {
+	//slothvet:allowwallclock
+	// wantprev "malformed slothvet annotation"
+}

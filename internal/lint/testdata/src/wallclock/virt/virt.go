@@ -1,0 +1,34 @@
+// Package virt is a wallclock fixture: virtual-time code that must not
+// read the host clock.
+package virt
+
+import "time"
+
+// Bad reads the wall clock directly.
+func Bad() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// BadSleep stalls on host time.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+// BadTimer builds a host timer; references are banned, not just calls.
+var BadTimer = time.After // want "time.After reads the host clock"
+
+// Durations and time arithmetic are not clock reads: no findings here.
+func Window(d time.Duration) time.Duration {
+	return 2*d + 250*time.Microsecond
+}
+
+// Allowed is a sanctioned host-attribution site.
+func Allowed() time.Time {
+	//slothvet:allow wallclock(fixture: genuine host attribution)
+	return time.Now()
+}
+
+// AllowedSameLine exercises the same-line annotation placement.
+func AllowedSameLine() time.Time {
+	return time.Now() //slothvet:allow wallclock(fixture: same-line form)
+}

@@ -60,11 +60,15 @@ type RealClock struct {
 // NewRealClock returns a clock backed by the wall clock.
 func NewRealClock() *RealClock { return &RealClock{} }
 
-func (c *RealClock) init() { c.once.Do(func() { c.epoch = time.Now() }) }
+func (c *RealClock) init() {
+	//slothvet:allow wallclock(RealClock is the sanctioned wall-clock adapter behind the Clock interface)
+	c.once.Do(func() { c.epoch = time.Now() })
+}
 
 // Now reports wall time elapsed since the first use of the clock.
 func (c *RealClock) Now() time.Duration {
 	c.init()
+	//slothvet:allow wallclock(RealClock is the sanctioned wall-clock adapter behind the Clock interface)
 	return time.Since(c.epoch)
 }
 
@@ -72,6 +76,7 @@ func (c *RealClock) Now() time.Duration {
 func (c *RealClock) Advance(d time.Duration) {
 	c.init()
 	if d > 0 {
+		//slothvet:allow wallclock(RealClock is the sanctioned wall-clock adapter behind the Clock interface)
 		time.Sleep(d)
 	}
 }

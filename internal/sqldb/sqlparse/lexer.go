@@ -8,7 +8,6 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexical tokens.
@@ -148,10 +147,16 @@ func lex(input string) ([]token, error) {
 	return toks, nil
 }
 
+// Identifiers are ASCII-only. The lexer walks bytes, so classifying a
+// byte with the unicode tables would treat each byte of a multi-byte
+// UTF-8 sequence (or a stray invalid byte) as its own Latin-1 letter:
+// such "identifiers" survive parsing but break under the renderer's
+// case normalization, producing SQL that no longer lexes. The dialect
+// the applications issue is ASCII, so non-ASCII bytes are lex errors.
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }

@@ -144,6 +144,29 @@ func (t *Table) HasIndex(i int) bool {
 	return ok
 }
 
+// sortedRowIDs returns every stored row id in ascending order, pinning
+// map iteration to a fixed sequence wherever the visit order can leak
+// into errors or output.
+func (t *Table) sortedRowIDs() []RowID {
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// indexedCols returns the indexed column ordinals in ascending order, so
+// multi-column constraint violations always name the same column.
+func (t *Table) indexedCols() []int {
+	cols := make([]int, 0, len(t.indexes))
+	for i := range t.indexes {
+		cols = append(cols, i)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
 // AddIndex creates a hash index over the named column, populating it from
 // every stored version (dead-but-unswept images included, so snapshots
 // older than the DDL still find their rows through it).
@@ -157,8 +180,11 @@ func (t *Table) AddIndex(col string, unique bool) error {
 	}
 	idx := make(map[sqldb.Value][]RowID)
 	if unique {
+		// Visit rows in id order so the duplicate named in the error is the
+		// same one every run, not whichever the map yields first.
 		seen := make(map[sqldb.Value]bool)
-		for _, head := range t.rows {
+		for _, id := range t.sortedRowIDs() {
+			head := t.rows[id]
 			if head.to != liveEpoch || head.row[i] == nil {
 				continue
 			}
@@ -259,7 +285,7 @@ func (t *Table) Insert(vals Row) (RowID, error) {
 		}
 		row[i] = cv
 	}
-	for i := range t.indexes {
+	for _, i := range t.indexedCols() {
 		if t.unique[i] && row[i] != nil && t.uniqueConflict(i, row[i], -1) {
 			return 0, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
 		}
@@ -386,7 +412,7 @@ func (t *Table) Update(id RowID, vals Row) (Row, error) {
 		}
 		row[i] = cv
 	}
-	for i := range t.indexes {
+	for _, i := range t.indexedCols() {
 		if t.unique[i] && row[i] != nil && !sqldb.Equal(row[i], old[i]) && t.uniqueConflict(i, row[i], id) {
 			return nil, fmt.Errorf("storage: table %q: duplicate key %v for column %q", t.Name, row[i], t.Columns[i].Name)
 		}
