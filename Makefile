@@ -3,7 +3,7 @@
 GO      ?= go
 SLOTHVET = bin/slothvet
 
-.PHONY: all build test race vet fuzz bench clean
+.PHONY: all build test race vet fuzz bench shardbench clean
 
 all: vet build test
 
@@ -37,6 +37,14 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Sharded-throughput sweep: same report as `-exp throughput` with a
+# shards column, so the scatter-gather occupancy win (and the rendered
+# bytes staying identical across shard counts) is visible locally.
+# BENCH_hosttime.json is host-time calibrated and shard-independent; the
+# target deliberately does not refresh it.
+shardbench:
+	$(GO) run ./cmd/slothbench -exp throughput -shards 1,4 -workers 2
 
 clean:
 	rm -rf bin

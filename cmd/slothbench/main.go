@@ -37,6 +37,7 @@ type options struct {
 	kindSet   bool
 	sessions  int
 	workers   []int
+	shards    []int
 	visits    bool
 	hostReps  int
 	hostOut   string
@@ -55,6 +56,7 @@ func main() {
 	dispatchFlag := flag.String("dispatch", "", "dispatch strategy: sync|async|shared (suite experiments; empty = sync, throughput compares all three unless set)")
 	flag.IntVar(&o.sessions, "sessions", 0, "concurrent sessions for -exp throughput (0 = sweep 1,2,4,8)")
 	workersFlag := flag.String("workers", "", "server DB worker queues, comma-separated (throughput: empty = sweep 1,4; hosttime: empty = sweep 1,2,4,8)")
+	shardsFlag := flag.String("shards", "", "database shard counts for -exp throughput, comma-separated (empty = unsharded; rendering is byte-identical at any count, only occupancy changes)")
 	flag.BoolVar(&o.visits, "visits", true, "record a visit-log write per page load in -exp throughput (false = read-only replay; with -dispatch shared the output is byte-stable)")
 	flag.IntVar(&o.hostReps, "hostreps", 3, "measured replays per cache mode for -exp hosttime")
 	flag.StringVar(&o.hostOut, "hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
@@ -81,6 +83,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "slothbench: %v\n", err)
 		os.Exit(1)
 	}
+	if o.shards, err = parseCounts(*shardsFlag, "-shards"); err != nil {
+		fmt.Fprintf(os.Stderr, "slothbench: %v\n", err)
+		os.Exit(1)
+	}
 
 	if o.debugAddr != "" {
 		if err := serveDebug(o.debugAddr); err != nil {
@@ -97,7 +103,11 @@ func main() {
 
 // parseWorkers turns the comma-separated -workers flag into a count list.
 // Empty means "use the experiment's default sweep".
-func parseWorkers(s string) ([]int, error) {
+func parseWorkers(s string) ([]int, error) { return parseCounts(s, "-workers") }
+
+// parseCounts parses a comma-separated positive count list; empty means
+// "use the experiment's default".
+func parseCounts(s, flagName string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -105,7 +115,7 @@ func parseWorkers(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -workers %q: want comma-separated positive counts", s)
+			return nil, fmt.Errorf("bad %s %q: want comma-separated positive counts", flagName, s)
 		}
 		out = append(out, n)
 	}
@@ -142,7 +152,7 @@ func run(o options) error {
 	txns, reps := o.txns, o.reps
 	mergeOn, eqOnly := o.mergeOn, o.eqOnly
 	kind, kindSet := o.kind, o.kindSet
-	sessions, workers, visits := o.sessions, o.workers, o.visits
+	sessions, workers, shards, visits := o.sessions, o.workers, o.shards, o.visits
 	hostReps, hostOut := o.hostReps, o.hostOut
 	var itEnv, omEnv *bench.Env
 	needEnv := func(id bench.AppID) (*bench.Env, error) {
@@ -328,6 +338,7 @@ func run(o options) error {
 					Sessions: counts,
 					Kinds:    kinds,
 					Workers:  wlist,
+					Shards:   shards,
 					RTT:      rtt,
 					Visits:   visits,
 				})

@@ -48,7 +48,17 @@ type ThroughputOptions struct {
 	Sessions []int           // concurrent session counts
 	Kinds    []dispatch.Kind // dispatch strategies to compare
 	Workers  []int           // server DB worker queues; nil sweeps just 1
-	RTT      time.Duration
+	// Shards sweeps database shard counts (each cell reseeds a fresh
+	// environment partitioned that way); nil measures just the unsharded
+	// server. Sharding changes occupancy only — every page renders the
+	// same bytes at any shard count — so the column isolates what
+	// horizontal partitioning buys under concurrency.
+	Shards []int
+	// Scale multiplies the seeded data sizes (NewEnv's scale knob); <= 1
+	// is the standard database. Larger scans raise DB utilization, which
+	// is where shard and worker parallelism become visible.
+	Scale int
+	RTT   time.Duration
 	// Visits makes every page load record one visit-log write. Deferred
 	// strategies are then measured twice — writes forced (the pre-
 	// pipelining behaviour) and writes pipelined — so the report shows
@@ -64,7 +74,8 @@ type ConcurrencyRow struct {
 	Kind            dispatch.Kind
 	PipelinedWrites bool // writes rode the pipeline (deferred kinds only)
 	Sessions        int
-	Workers         int           // server DB worker queues
+	Workers         int           // server DB worker queues (per shard)
+	Shards          int           // database shard count
 	Pages           int           // total page loads completed
 	Writes          int64         // visit-log writes issued
 	Makespan        time.Duration // max session virtual time
@@ -103,11 +114,18 @@ type ConcurrencyReport struct {
 	Rows []ConcurrencyRow
 }
 
-// Row returns the measurement for (kind, pipelined-writes, sessions,
-// workers), if present.
+// Row returns the unsharded measurement for (kind, pipelined-writes,
+// sessions, workers), if present.
 func (r ConcurrencyReport) Row(kind dispatch.Kind, pw bool, sessions, workers int) (ConcurrencyRow, bool) {
+	return r.RowSharded(kind, pw, sessions, workers, 1)
+}
+
+// RowSharded returns the measurement for (kind, pipelined-writes,
+// sessions, workers, shards), if present.
+func (r ConcurrencyReport) RowSharded(kind dispatch.Kind, pw bool, sessions, workers, shards int) (ConcurrencyRow, bool) {
 	for _, row := range r.Rows {
-		if row.Kind == kind && row.PipelinedWrites == pw && row.Sessions == sessions && row.Workers == workers {
+		if row.Kind == kind && row.PipelinedWrites == pw && row.Sessions == sessions &&
+			row.Workers == workers && row.Shards == shards {
 			return row, true
 		}
 	}
@@ -124,19 +142,25 @@ func ConcurrentThroughput(id AppID, opts ThroughputOptions) (ConcurrencyReport, 
 	if len(workers) == 0 {
 		workers = []int{1}
 	}
+	shards := opts.Shards
+	if len(shards) == 0 {
+		shards = []int{1}
+	}
 	for _, n := range opts.Sessions {
 		for _, w := range workers {
-			for _, kind := range opts.Kinds {
-				pws := []bool{false}
-				if opts.Visits && kind != dispatch.KindSync {
-					pws = []bool{false, true}
-				}
-				for _, pw := range pws {
-					row, err := replayConcurrent(id, n, kind, pw, w, opts)
-					if err != nil {
-						return rep, fmt.Errorf("bench: throughput %s x%d w%d: %w", kind, n, w, err)
+			for _, sc := range shards {
+				for _, kind := range opts.Kinds {
+					pws := []bool{false}
+					if opts.Visits && kind != dispatch.KindSync {
+						pws = []bool{false, true}
 					}
-					rep.Rows = append(rep.Rows, row)
+					for _, pw := range pws {
+						row, err := replayConcurrent(id, n, kind, pw, w, sc, opts)
+						if err != nil {
+							return rep, fmt.Errorf("bench: throughput %s x%d w%d s%d: %w", kind, n, w, sc, err)
+						}
+						rep.Rows = append(rep.Rows, row)
+					}
 				}
 			}
 		}
@@ -153,8 +177,15 @@ func ConcurrentThroughput(id AppID, opts ThroughputOptions) (ConcurrencyReport, 
 // hub's virtual-time window policy assumes: every session submits the same
 // batch sequence, so each window generation's quorum deterministically
 // fills.
-func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, workers int, opts ThroughputOptions) (ConcurrencyRow, error) {
-	env, err := NewEnv(id, 1)
+func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, workers, shards int, opts ThroughputOptions) (ConcurrencyRow, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	scale := opts.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	env, err := NewEnvSharded(id, scale, shards)
 	if err != nil {
 		return ConcurrencyRow{}, err
 	}
@@ -168,7 +199,7 @@ func replayConcurrent(id AppID, n int, kind dispatch.Kind, pipelineWrites bool, 
 	obs.SetCurrent(reg)
 	env.Srv.SetMetrics(reg)
 	pageLat := reg.Histogram("page.latency")
-	row := ConcurrencyRow{Kind: kind, PipelinedWrites: pipelineWrites, Sessions: n, Workers: workers}
+	row := ConcurrencyRow{Kind: kind, PipelinedWrites: pipelineWrites, Sessions: n, Workers: workers, Shards: shards}
 	pages := opts.Pages
 	if len(pages) == 0 {
 		pages = env.Pages()
@@ -320,16 +351,16 @@ func (r ConcurrencyReport) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "== Throughput: %d-page %s suite, concurrent sessions, rtt %v ==\n",
 		pagesPerRow(r), r.App, r.RTT)
-	fmt.Fprintf(&sb, "%8s %10s %7s %10s %12s %10s %10s %10s %12s %9s %11s %11s %10s\n",
-		"sessions", "dispatch", "workers", "pages/s", "p50 page", "p95", "p99", "qw p95", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
+	fmt.Fprintf(&sb, "%8s %10s %7s %6s %10s %12s %10s %10s %10s %12s %9s %11s %11s %10s\n",
+		"sessions", "dispatch", "workers", "shards", "pages/s", "p50 page", "p95", "p99", "qw p95", "makespan", "db stmts", "queue wait", "overlapped", "coalesced")
 	last := -1
 	for _, row := range r.Rows {
 		if last != -1 && row.Sessions != last {
 			sb.WriteByte('\n')
 		}
 		last = row.Sessions
-		fmt.Fprintf(&sb, "%8d %10s %7d %10.1f %12v %10v %10v %10v %12v %9d %11v %11v %10d\n",
-			row.Sessions, row.Strategy(), row.Workers, row.Rate,
+		fmt.Fprintf(&sb, "%8d %10s %7d %6d %10.1f %12v %10v %10v %10v %12v %9d %11v %11v %10d\n",
+			row.Sessions, row.Strategy(), row.Workers, row.Shards, row.Rate,
 			row.P50.Round(time.Microsecond),
 			row.P95.Round(time.Microsecond),
 			row.P99.Round(time.Microsecond),
@@ -342,25 +373,56 @@ func (r ConcurrencyReport) Format() string {
 	}
 	for _, n := range sessionCounts(r) {
 		for _, w := range workerCounts(r) {
-			s, okS := r.Row(dispatch.KindSync, false, n, w)
-			a, okA := r.Row(dispatch.KindAsync, false, n, w)
-			sh, okSh := r.Row(dispatch.KindShared, false, n, w)
-			if okS && okA && okSh && s.Rate > 0 {
-				fmt.Fprintf(&sb, "x%d w%d: async %.2fx, shared %.2fx over sync\n",
-					n, w, a.Rate/s.Rate, sh.Rate/s.Rate)
-			}
-			apw, okApw := r.Row(dispatch.KindAsync, true, n, w)
-			shpw, okShpw := r.Row(dispatch.KindShared, true, n, w)
-			if okA && okApw && a.Rate > 0 {
-				line := fmt.Sprintf("x%d w%d: write pipelining async %.3fx", n, w, apw.Rate/a.Rate)
-				if okSh && okShpw && sh.Rate > 0 {
-					line += fmt.Sprintf(", shared %.3fx", shpw.Rate/sh.Rate)
+			for _, sc := range shardCounts(r) {
+				s, okS := r.RowSharded(dispatch.KindSync, false, n, w, sc)
+				a, okA := r.RowSharded(dispatch.KindAsync, false, n, w, sc)
+				sh, okSh := r.RowSharded(dispatch.KindShared, false, n, w, sc)
+				if okS && okA && okSh && s.Rate > 0 {
+					fmt.Fprintf(&sb, "x%d w%d s%d: async %.2fx, shared %.2fx over sync\n",
+						n, w, sc, a.Rate/s.Rate, sh.Rate/s.Rate)
 				}
-				sb.WriteString(line + "\n")
+				apw, okApw := r.RowSharded(dispatch.KindAsync, true, n, w, sc)
+				shpw, okShpw := r.RowSharded(dispatch.KindShared, true, n, w, sc)
+				if okA && okApw && a.Rate > 0 {
+					line := fmt.Sprintf("x%d w%d s%d: write pipelining async %.3fx", n, w, sc, apw.Rate/a.Rate)
+					if okSh && okShpw && sh.Rate > 0 {
+						line += fmt.Sprintf(", shared %.3fx", shpw.Rate/sh.Rate)
+					}
+					sb.WriteString(line + "\n")
+				}
+			}
+			// Sharding speedups: each partitioned cell against its
+			// unsharded baseline for the same strategy.
+			for _, sc := range shardCounts(r) {
+				if sc <= 1 {
+					continue
+				}
+				for _, kind := range []dispatch.Kind{dispatch.KindSync, dispatch.KindAsync, dispatch.KindShared} {
+					for _, pw := range []bool{false, true} {
+						base, okBase := r.RowSharded(kind, pw, n, w, 1)
+						part, okPart := r.RowSharded(kind, pw, n, w, sc)
+						if okBase && okPart && base.Rate > 0 {
+							fmt.Fprintf(&sb, "x%d w%d %s: %d shards %.2fx over 1 shard\n",
+								n, w, part.Strategy(), sc, part.Rate/base.Rate)
+						}
+					}
+				}
 			}
 		}
 	}
 	return sb.String()
+}
+
+func shardCounts(r ConcurrencyReport) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, row := range r.Rows {
+		if !seen[row.Shards] {
+			seen[row.Shards] = true
+			out = append(out, row.Shards)
+		}
+	}
+	return out
 }
 
 func pagesPerRow(r ConcurrencyReport) int {

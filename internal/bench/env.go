@@ -51,6 +51,9 @@ type Env struct {
 	ID    AppID
 	Clock *netsim.VirtualClock
 	Srv   *driver.Server
+	// DB is the engine behind Srv; the sharded constructors partition its
+	// storage, and the merge wiring asks it for a shard router.
+	DB *engine.DB
 	// StoreCfg is the query-store configuration used by LoadPage for
 	// Sloth-mode loads; the zero value is the paper's configuration. The
 	// slothbench -merge flag sets StoreCfg.Merge.Enabled here.
@@ -62,12 +65,22 @@ type Env struct {
 // NewEnv builds and seeds an environment. scale multiplies the default data
 // sizes for the scaling experiment; pass 1 for the standard database.
 func NewEnv(id AppID, scale int) (*Env, error) {
+	return NewEnvSharded(id, scale, 1)
+}
+
+// NewEnvSharded is NewEnv over a horizontally partitioned database: every
+// table's rows hash across shards stores, each with its own version
+// chains and GC, and the driver models shards independent worker groups.
+// Rendering is byte-identical to the unsharded environment at any shard
+// count; only the occupancy model (and therefore throughput under
+// concurrency) changes. shards <= 1 yields the plain single-store env.
+func NewEnvSharded(id AppID, scale, shards int) (*Env, error) {
 	if scale < 1 {
 		scale = 1
 	}
 	clock := netsim.NewVirtualClock()
-	db := engine.New()
-	env := &Env{ID: id, Clock: clock}
+	db := engine.NewSharded(shards)
+	env := &Env{ID: id, Clock: clock, DB: db}
 	switch id {
 	case Itracker:
 		size := itracker.DefaultSize()
@@ -98,6 +111,17 @@ func NewEnv(id AppID, scale int) (*Env, error) {
 
 // Pages lists the benchmark pages.
 func (e *Env) Pages() []string { return e.app.Pages() }
+
+// shardCfg completes a store config against this env: when the merge
+// optimizer runs over a sharded database it needs the engine's shard
+// router so merge families split per shard before any IN-list rewrite
+// (ShardRouter is nil on an unsharded env, so this is a no-op there).
+func (e *Env) shardCfg(cfg querystore.Config) querystore.Config {
+	if cfg.Merge.Enabled && cfg.Merge.ShardOf == nil {
+		cfg.Merge.ShardOf = e.DB.ShardRouter()
+	}
+	return cfg
+}
 
 // newHub builds a cross-session accumulation window over its own
 // connection to the env's server, mirroring the store config's merge stage
@@ -161,6 +185,7 @@ func loadPageWithStore(e *Env, page string, cfg querystore.Config) (PageMetrics,
 // shared windows execute on the hub's connection, so the per-session
 // NetTime/RoundTrips metrics understate shared-mode traffic.
 func (e *Env) LoadPageHTML(page string, mode orm.Mode, rtt time.Duration, cfg querystore.Config) (string, PageMetrics, error) {
+	cfg = e.shardCfg(cfg)
 	link := netsim.NewLink(e.Clock, rtt)
 	conn := e.Srv.Connect(link)
 	if cfg.Dispatch == dispatch.KindShared && cfg.Hub == nil {

@@ -108,13 +108,13 @@ func (a *Async) worker() {
 			return
 		}
 		out, demux, ss := applyStagesTraced(t.ctx, t.arrival, a.stages, t.stmts)
-		results, done, err := a.conn.ExecBatchCtx(t.ctx, t.arrival, out)
+		results, done, shards, err := a.conn.ExecBatchFanout(t.ctx, t.arrival, out)
 		if err == nil && demux != nil {
 			results, err = demux(results)
 		}
 		t.results, t.err = results, err
 		t.completeAt = done
-		t.bs = batchStats(len(out), ss)
+		t.bs = batchStats(len(out), ss, shards)
 		a.box.addExec(len(out), ss, err)
 		close(t.done)
 	}

@@ -94,6 +94,11 @@ type BatchStats struct {
 	// an identical statement another session (or an earlier position in
 	// the same window) had already contributed.
 	SharedHits int
+	// Shards is how many storage shards the executed batch occupied (its
+	// scatter width): 1 on an unsharded server or for fully-routed batches,
+	// the server's shard count for scans. Under shared dispatch every
+	// contributing batch reports the window's width.
+	Shards int
 }
 
 // Ticket is the handle for one submitted batch. Wait on it through the
@@ -319,6 +324,6 @@ func (b *statsBox) addExec(sent int, ss StageStats, err error) {
 }
 
 // batchStats fills the per-batch ticket stats from a stage total.
-func batchStats(sent int, ss StageStats) BatchStats {
-	return BatchStats{Sent: sent, Saved: ss.Saved, Groups: ss.Groups, SavedByFamily: ss.SavedByFamily}
+func batchStats(sent int, ss StageStats, shards int) BatchStats {
+	return BatchStats{Sent: sent, Saved: ss.Saved, Groups: ss.Groups, SavedByFamily: ss.SavedByFamily, Shards: shards}
 }

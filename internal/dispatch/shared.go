@@ -311,7 +311,7 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 	}
 
 	out, demux, ss := applyStagesTraced(wctx, arrival, h.stages, combined)
-	results, done, err := h.conn.ExecBatchCtx(wctx, arrival, out)
+	results, done, shards, err := h.conn.ExecBatchFanout(wctx, arrival, out)
 	if err == nil && demux != nil {
 		results, err = demux(results)
 	}
@@ -359,6 +359,7 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 			Saved:         savedShares[k],
 			Groups:        groupShares[k],
 			SavedByFamily: famShares[k],
+			Shards:        shards,
 		}
 		if err != nil {
 			t.err = err
@@ -497,13 +498,13 @@ func (s *Shared) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 		}
 	}
 	out, demux, ss := applyStagesTraced(ctx, t.arrival, s.stages, stmts)
-	results, done, err := s.conn.ExecBatchCtx(ctx, t.arrival, out)
+	results, done, shards, err := s.conn.ExecBatchFanout(ctx, t.arrival, out)
 	if err == nil && demux != nil {
 		results, err = demux(results)
 	}
 	t.results, t.err = results, err
 	t.completeAt = done
-	t.bs = batchStats(len(out), ss)
+	t.bs = batchStats(len(out), ss, shards)
 	s.box.addExec(len(out), ss, err)
 	close(t.done)
 	return t

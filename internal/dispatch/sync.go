@@ -37,7 +37,7 @@ func (s *Sync) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 	clock := s.conn.Clock()
 	now := clock.Now()
 	out, demux, ss := applyStagesTraced(ctx, now, s.stages, stmts)
-	results, done, err := s.conn.ExecBatchCtx(ctx, now, out)
+	results, done, shards, err := s.conn.ExecBatchFanout(ctx, now, out)
 	if err == nil {
 		netsim.AdvanceTo(clock, done)
 		if demux != nil {
@@ -45,7 +45,7 @@ func (s *Sync) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 		}
 	}
 	t.results, t.err = results, err
-	t.bs = batchStats(len(out), ss)
+	t.bs = batchStats(len(out), ss, shards)
 	s.box.addExec(len(out), ss, err)
 	return t
 }

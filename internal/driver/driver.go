@@ -10,6 +10,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -169,15 +170,34 @@ type Server struct {
 		timeNS    *obs.Counter
 		wallNS    *obs.Counter
 		queueWait *obs.Histogram
+		// shardBatches/shardBusyNS are the per-shard occupancy instruments
+		// ("db.shard.<i>.batches" / "db.shard.<i>.busy_ns"), registered only
+		// for sharded stores: how many batches landed a lane on shard i and
+		// the virtual busy time charged there.
+		shardBatches []*obs.Counter
+		shardBusyNS  []*obs.Counter
 	}
-	// workers holds the busy horizon of each DB worker queue — the
+	// lanes holds the busy timeline of each DB worker queue — the
 	// multi-queue occupancy model for concurrent sessions (the paper's
 	// server runs a pool of DB worker threads; SetWorkers sizes it). A batch
-	// arriving at virtual time t is placed on the worker that frees up
-	// first and starts at max(t, that worker's horizon); with one session
-	// and one worker the queue is always empty and the model collapses to
+	// arriving at virtual time t is placed on the lane in its group that
+	// can start it earliest and starts at the first instant >= t when that
+	// lane is idle for the batch's duration; with one session and one
+	// worker the lane is always idle at arrival and the model collapses to
 	// the original serial accounting.
-	workers []time.Duration
+	//
+	// With a sharded store the slice is shard-major: shards × K lanes,
+	// lane shard*K+w being shard's worker w. A batch occupies one lane on
+	// every shard its statements touch (per the plan router's mask) for an
+	// equal share of its cost, and starts at the earliest instant all its
+	// chosen lanes are simultaneously free — a scatter waits for its
+	// slowest shard. At shards == 1 one lane is chosen and the share is
+	// the full cost.
+	lanes []laneBusy
+
+	// shards is the occupancy model's shard dimension, mirroring the
+	// engine's store (NewServer reads it once; stores never resize).
+	shards int
 
 	// slots is the execution-side worker pool matching the occupancy model:
 	// a counting semaphore preloaded with one token per worker. A read-only
@@ -187,6 +207,69 @@ type Server struct {
 	// before. Guarded by mu for replacement (SetWorkers); holders keep the
 	// channel they drew from, so a resize never strands a token.
 	slots chan int
+}
+
+// busySpan is one half-open busy interval [from, to) on a lane's virtual
+// timeline.
+type busySpan struct{ from, to time.Duration }
+
+// laneBusy is one DB worker lane's occupancy: disjoint busy spans sorted
+// by start. Sessions run concurrently in HOST time, so batches do not
+// reach the server in virtual-time order; a single busy horizon would
+// make a batch that merely arrives late in host time queue behind a
+// session whose virtual clock is far ahead — phantom wait charged for a
+// lane that is actually idle at the batch's virtual arrival. Keeping the
+// idle gaps lets such a batch backfill: it starts at the earliest instant
+// at or after its arrival when the lane is free for its whole duration,
+// so QueueWait measures real capacity conflicts only.
+type laneBusy struct{ spans []busySpan }
+
+// free reports the earliest start >= from at which the lane is
+// continuously idle for dur. A single forward pass works because spans
+// are sorted and disjoint: each overlap pushes the candidate window right,
+// never left.
+func (l *laneBusy) free(from, dur time.Duration) time.Duration {
+	for _, sp := range l.spans {
+		if sp.to <= from {
+			continue
+		}
+		if sp.from >= from+dur {
+			break
+		}
+		from = sp.to
+	}
+	return from
+}
+
+// insert marks [from, from+dur) busy, coalescing with touching spans.
+func (l *laneBusy) insert(from, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	to := from + dur
+	i := sort.Search(len(l.spans), func(i int) bool { return l.spans[i].from >= from })
+	if i > 0 && l.spans[i-1].to >= from {
+		i--
+		from = l.spans[i].from
+		if l.spans[i].to > to {
+			to = l.spans[i].to
+		}
+	}
+	j := i
+	for j < len(l.spans) && l.spans[j].from <= to {
+		if l.spans[j].to > to {
+			to = l.spans[j].to
+		}
+		j++
+	}
+	if j == i {
+		l.spans = append(l.spans, busySpan{})
+		copy(l.spans[i+1:], l.spans[i:])
+		l.spans[i] = busySpan{from, to}
+		return
+	}
+	l.spans[i] = busySpan{from, to}
+	l.spans = append(l.spans[:i+1], l.spans[j:]...)
 }
 
 // newSlots builds the k-token worker semaphore.
@@ -199,9 +282,12 @@ func newSlots(k int) chan int {
 }
 
 // NewServer creates a server over db using the given clock and cost model.
-// The server starts with a single DB worker queue; SetWorkers resizes it.
+// The server starts with one DB worker queue per storage shard; SetWorkers
+// resizes the per-shard pool.
 func NewServer(db *engine.DB, clock netsim.Clock, cost CostModel) *Server {
-	return &Server{db: db, clock: clock, cost: cost, workers: make([]time.Duration, 1), slots: newSlots(1)}
+	shards := db.Store().NumShards()
+	return &Server{db: db, clock: clock, cost: cost, shards: shards,
+		lanes: make([]laneBusy, shards), slots: newSlots(shards)}
 }
 
 // DB returns the underlying engine (for direct data loading in fixtures).
@@ -216,6 +302,7 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	defer s.mu.Unlock()
 	if reg == nil {
 		s.met.batches, s.met.stmts, s.met.rows, s.met.timeNS, s.met.wallNS, s.met.queueWait = nil, nil, nil, nil, nil, nil
+		s.met.shardBatches, s.met.shardBusyNS = nil, nil
 		return
 	}
 	s.met.batches = reg.Counter("db.batches")
@@ -224,16 +311,25 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	s.met.timeNS = reg.Counter("db.time_ns")
 	s.met.wallNS = reg.Counter("db.exec_wall_ns")
 	s.met.queueWait = reg.Histogram("db.queue_wait")
+	if s.shards > 1 {
+		s.met.shardBatches = make([]*obs.Counter, s.shards)
+		s.met.shardBusyNS = make([]*obs.Counter, s.shards)
+		for i := 0; i < s.shards; i++ {
+			s.met.shardBatches[i] = reg.Counter(fmt.Sprintf("db.shard.%d.batches", i))
+			s.met.shardBusyNS[i] = reg.Counter(fmt.Sprintf("db.shard.%d.busy_ns", i))
+		}
+	}
 }
 
-// SetWorkers sizes the DB worker pool to k queues (k < 1 selects 1),
-// resetting every queue's busy horizon. Per-worker stat attribution folds
-// into the Retired* buckets rather than being dropped (a shrunk pool must
-// not keep reporting load on workers that no longer exist, but a mid-run
-// resize must not silently under-count totals either). Call it between
-// replays, not while batches are in flight; a batch already holding a
-// worker slot finishes against the channel it drew from and its wall time
-// lands in RetiredWall if its slot index no longer exists.
+// SetWorkers sizes the DB worker pool to k queues per shard (k < 1
+// selects 1), resetting every lane's busy horizon. Per-worker stat
+// attribution folds into the Retired* buckets rather than being dropped (a
+// shrunk pool must not keep reporting load on workers that no longer
+// exist, but a mid-run resize must not silently under-count totals
+// either). Call it between replays, not while batches are in flight; a
+// batch already holding a worker slot finishes against the channel it drew
+// from and its wall time lands in RetiredWall if its slot index no longer
+// exists.
 func (s *Server) SetWorkers(k int) {
 	if k < 1 {
 		k = 1
@@ -252,16 +348,19 @@ func (s *Server) SetWorkers(k int) {
 	s.stats.WorkerBatches = nil
 	s.stats.WorkerBusy = nil
 	s.stats.WorkerWall = nil
-	s.workers = make([]time.Duration, k)
-	s.slots = newSlots(k)
+	s.lanes = make([]laneBusy, s.shards*k)
+	s.slots = newSlots(s.shards * k)
 }
 
-// Workers reports the size of the DB worker pool.
+// Workers reports the size of the DB worker pool (per shard).
 func (s *Server) Workers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.workers)
+	return len(s.lanes) / s.shards
 }
+
+// Shards reports the occupancy model's shard count.
+func (s *Server) Shards() int { return s.shards }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
@@ -452,8 +551,8 @@ func (s *Server) execReadBatch(parsed []sqlparse.Statement, stmts []Stmt, traced
 	s.stats.SnapBatches++
 	s.stats.Rows += rowsVisited
 	s.stats.DBTime += total
-	if slot < len(s.workers) {
-		for len(s.stats.WorkerWall) < len(s.workers) {
+	if slot < len(s.lanes) {
+		for len(s.stats.WorkerWall) < len(s.lanes) {
 			s.stats.WorkerWall = append(s.stats.WorkerWall, 0)
 		}
 		s.stats.WorkerWall[slot] += wall
@@ -471,35 +570,125 @@ func (s *Server) execReadBatch(parsed []sqlparse.Statement, stmts []Stmt, traced
 }
 
 // occupy reserves server capacity for a batch arriving at the given virtual
-// time: the batch is placed on the DB worker whose busy horizon is
-// earliest (ties break to the lowest index, so placement is deterministic
-// for a given call order), starts when that worker frees up, and extends
-// the worker's horizon by its cost. The wait is attributed to
-// ServerStats.QueueWait and the placement to WorkerBatches/WorkerBusy.
-// Returns the start time and the chosen worker index.
-func (s *Server) occupy(arrival, cost time.Duration) (time.Duration, int) {
+// time. mask is the bitset of shards the batch touches (0 = every shard; on
+// an unsharded server there is only the one). Each touched shard is
+// charged an equal SHARE of the cost (every shard holds 1/n of the table,
+// so a scatter's per-shard work divides by the shards it touches) on the
+// lane in its group that can start the batch earliest (ties break to the
+// lowest index). The batch starts at the earliest instant at or after its
+// arrival when every chosen lane is simultaneously idle for the share —
+// idle gaps backfill, so the wait measures real capacity conflicts, and a
+// scatter waits for its slowest shard. The batch's own completion is
+// still start + the FULL cost: the session's virtual timeline is priced
+// exactly as the unsharded server would price it, keeping goldens
+// shard-count-independent, and sharding shows up only in the occupancy a
+// batch leaves behind — other sessions queue behind the share, not the
+// whole cost. The wait is attributed to ServerStats.QueueWait once and
+// the placement to WorkerBatches/WorkerBusy per lane. Returns the start
+// time, the per-lane share, and the chosen lanes (lanes[0], the lowest
+// shard's, is the primary for trace attribution). At shards == 1 this is
+// the flat K-queue model with backfill: one lane chosen, share == cost.
+func (s *Server) occupy(arrival, cost time.Duration, mask uint64) (time.Duration, time.Duration, []int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w := 0
-	for i := 1; i < len(s.workers); i++ {
-		if s.workers[i] < s.workers[w] {
-			w = i
+	k := len(s.lanes) / s.shards
+	touched := 0
+	for sh := 0; sh < s.shards; sh++ {
+		if mask == 0 || mask&(1<<uint(sh)) != 0 {
+			touched++
 		}
 	}
-	start := arrival
-	if s.workers[w] > start {
-		start = s.workers[w]
+	share := cost
+	if touched > 1 {
+		share = cost / time.Duration(touched)
 	}
-	s.workers[w] = start + cost
-	for len(s.stats.WorkerBatches) < len(s.workers) {
+	lanes := make([]int, 0, touched)
+	for sh := 0; sh < s.shards; sh++ {
+		if mask != 0 && mask&(1<<uint(sh)) == 0 {
+			continue
+		}
+		base := sh * k
+		w := base
+		best := s.lanes[base].free(arrival, share)
+		for i := base + 1; i < base+k; i++ {
+			if t := s.lanes[i].free(arrival, share); t < best {
+				best, w = t, i
+			}
+		}
+		lanes = append(lanes, w)
+	}
+	// Fixpoint for the common start: raising start past one lane's busy
+	// span can land inside another's, but start only moves right, so the
+	// loop is bounded by the total span count.
+	start := arrival
+	for {
+		again := false
+		for _, w := range lanes {
+			if t := s.lanes[w].free(start, share); t > start {
+				start, again = t, true
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	for len(s.stats.WorkerBatches) < len(s.lanes) {
 		s.stats.WorkerBatches = append(s.stats.WorkerBatches, 0)
 		s.stats.WorkerBusy = append(s.stats.WorkerBusy, 0)
 	}
-	s.stats.WorkerBatches[w]++
-	s.stats.WorkerBusy[w] += cost
+	for _, w := range lanes {
+		s.lanes[w].insert(start, share)
+		s.stats.WorkerBatches[w]++
+		s.stats.WorkerBusy[w] += share
+		if s.met.shardBatches != nil {
+			s.met.shardBatches[w/k].Add(1)
+			s.met.shardBusyNS[w/k].Add(int64(share))
+		}
+	}
 	s.stats.QueueWait += start - arrival
 	s.met.queueWait.Observe(start - arrival)
-	return start, w
+	return start, share, lanes
+}
+
+// shardMask predicts the batch's shard bitset by asking the plan router
+// per statement; any unroutable statement (scan, join, DDL, parse issue)
+// degrades the whole batch to 0 — every shard. Only meaningful when the
+// store is sharded; the mask is advisory (it prices occupancy, never
+// routes execution).
+func (s *Server) shardMask(stmts []Stmt) uint64 {
+	if s.shards <= 1 {
+		return 0
+	}
+	var mask uint64
+	s.db.Store().ReadLock()
+	defer s.db.Store().ReadUnlock()
+	for _, st := range stmts {
+		parsed := st.Parsed
+		if parsed == nil {
+			var err error
+			parsed, err = plan.ParseCached(st.SQL)
+			if err != nil {
+				return 0
+			}
+		}
+		m := s.db.StmtShardMask(st.SQL, parsed, st.Args)
+		if m == 0 {
+			return 0
+		}
+		mask |= m
+	}
+	return mask
+}
+
+// laneName is the trace-track label of an occupancy lane. The unsharded
+// spelling is kept byte-identical to the pre-sharding exporter so existing
+// golden traces and dashboards keep working.
+func (s *Server) laneName(lane int) string {
+	if s.shards == 1 {
+		return fmt.Sprintf("db-worker-%d", lane)
+	}
+	k := len(s.lanes) / s.shards
+	return fmt.Sprintf("db-s%d-worker-%d", lane/k, lane%k)
 }
 
 // Conn is a client connection: an engine session reached across a link.
@@ -581,8 +770,18 @@ func (c *Conn) ExecBatchAt(arrival time.Duration, stmts []Stmt) ([]*sqldb.Result
 // link crossing. The virtual timeline is identical with tracing on or
 // off — spans observe the simulation, never perturb it.
 func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, error) {
+	results, done, _, err := c.ExecBatchFanout(ctx, arrival, stmts)
+	return results, done, err
+}
+
+// ExecBatchFanout is ExecBatchCtx reporting additionally how many storage
+// shards the batch occupied (its scatter width: 1 on an unsharded server,
+// up to the shard count for scans and cross-shard IN lists). The dispatch
+// layer threads the number into BatchStats so the querystore's reports can
+// show routing effectiveness.
+func (c *Conn) ExecBatchFanout(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([]*sqldb.ResultSet, time.Duration, int, error) {
 	if len(stmts) == 0 {
-		return nil, arrival, nil
+		return nil, arrival, 0, nil
 	}
 	reqBytes := 0
 	for _, st := range stmts {
@@ -611,14 +810,14 @@ func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([
 		if traced {
 			ctx.Instant("error", "exec", arrival, obs.Arg{K: "err", V: err.Error()})
 		}
-		return nil, arrival, err
+		return nil, arrival, 0, err
 	}
 	respBytes := 0
 	for _, rs := range results {
 		respBytes += rs.WireSize()
 	}
 	netCost := c.link.Charge(reqBytes, respBytes)
-	start, worker := c.srv.occupy(arrival, dbCost)
+	start, share, lanes := c.srv.occupy(arrival, dbCost, c.srv.shardMask(stmts))
 	c.queriesSent.Add(int64(len(stmts)))
 	done := start + dbCost + netCost
 	if traced {
@@ -626,11 +825,16 @@ func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([
 		if start > arrival {
 			ex.Child("queue", "db-queue", arrival).End(start)
 		}
-		// The worker index decides only the exporter track (its Perfetto
-		// lane): the golden waterfall excludes tracks, so placement changes
-		// under different -workers settings never change the golden tree.
-		db := ex.ChildTrack(fmt.Sprintf("db-worker-%d", worker), "db", "batch", start,
-			obs.Arg{K: "stmts", V: len(stmts)})
+		// The lane indexes decide only the exporter tracks (their Perfetto
+		// lanes): the golden waterfall excludes tracks, so placement changes
+		// under different -workers/-shards settings never change the golden
+		// tree. The primary (lowest-shard) lane carries the per-statement
+		// layout; additional occupied shards get one plain span each.
+		dbArgs := []obs.Arg{{K: "stmts", V: len(stmts)}}
+		if c.srv.shards > 1 {
+			dbArgs = append(dbArgs, obs.Arg{K: "shards", V: len(lanes)})
+		}
+		db := ex.ChildTrack(c.srv.laneName(lanes[0]), "db", "batch", start, dbArgs...)
 		for i := range layout {
 			lt := &layout[i]
 			db.Child("stmt", stmts[i].SQL, start+lt.off,
@@ -638,12 +842,15 @@ func (c *Conn) ExecBatchCtx(ctx obs.Ctx, arrival time.Duration, stmts []Stmt) ([
 				obs.Arg{K: "rows", V: lt.rows}).End(start + lt.off + lt.dur)
 		}
 		db.End(start + dbCost)
+		for _, lane := range lanes[1:] {
+			ex.ChildTrack(c.srv.laneName(lane), "db", "shard-exec", start).End(start + share)
+		}
 		ex.Child("net", "link", start+dbCost,
 			obs.Arg{K: "req_b", V: reqBytes},
 			obs.Arg{K: "resp_b", V: respBytes}).End(done)
 		ex.End(done)
 	}
-	return results, done, nil
+	return results, done, len(lanes), nil
 }
 
 // ExecBatch ships all statements to the server in one round trip, blocks

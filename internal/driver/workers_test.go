@@ -65,23 +65,44 @@ func TestWorkersParallelizeOccupancy(t *testing.T) {
 	}
 }
 
-// TestWorkersPlacementPicksEarliestHorizon: with staggered horizons, a new
-// batch lands on the least-loaded worker (deterministic tie-break to the
-// lowest index).
-func TestWorkersPlacementPicksEarliestHorizon(t *testing.T) {
+// TestWorkersPlacementBackfillsIdleGaps: a batch lands on the lane that
+// can start it earliest (ties break to the lowest index), and a lane that
+// is busy far in the future is still idle NOW — sessions run concurrently
+// in host time, so a batch whose virtual arrival precedes an already
+// placed reservation backfills the idle gap instead of queueing behind it.
+func TestWorkersPlacementBackfillsIdleGaps(t *testing.T) {
 	_, srv, conn := rig(t, 0)
 	srv.SetWorkers(2)
-	// Load worker 0 far into the future, then worker 1 lightly.
-	if d := occupyProbe(t, conn, 10*time.Second); d <= 0 {
+	// Reserve worker 0 far in the future; the probe's return is the batch
+	// cost (rtt 0, no wait), the unqueued baseline for the rest.
+	cost := occupyProbe(t, conn, 10*time.Second)
+	if cost <= 0 {
 		t.Fatal("probe cost zero")
 	}
-	occupyProbe(t, conn, 0) // placed on worker 1 (earliest horizon)
-	if wait := occupyProbe(t, conn, 0); wait >= 10*time.Second {
-		t.Fatalf("batch queued behind the busy worker instead of the free one: wait %v", wait)
+	// An arrival at 0 backfills worker 0's idle gap before that
+	// reservation — no wait on top of the cost.
+	if d := occupyProbe(t, conn, 0); d != cost {
+		t.Fatalf("backfill before a future reservation paid %v, want bare cost %v", d, cost)
+	}
+	// The next arrival at 0 finds worker 0 busy at 0 and runs on worker 1.
+	if d := occupyProbe(t, conn, 0); d != cost {
+		t.Fatalf("second idle worker paid %v, want bare cost %v", d, cost)
 	}
 	st := srv.Stats()
-	if st.WorkerBatches[0] != 1 || st.WorkerBatches[1] != 2 {
-		t.Fatalf("placement = %v, want [1 2]", st.WorkerBatches)
+	if st.WorkerBatches[0] != 2 || st.WorkerBatches[1] != 1 {
+		t.Fatalf("placement = %v, want [2 1]", st.WorkerBatches)
+	}
+	if qw := st.QueueWait; qw != 0 {
+		t.Fatalf("idle-gap placements charged %v queue wait", qw)
+	}
+	// A fourth arrival at 0 has no idle lane left at 0: it queues for the
+	// first gap — a genuine capacity conflict, the only thing QueueWait
+	// should ever measure.
+	if d := occupyProbe(t, conn, 0); d <= cost {
+		t.Fatal("saturated lanes charged no wait")
+	}
+	if qw := srv.Stats().QueueWait; qw <= 0 {
+		t.Fatal("QueueWait did not record the conflict")
 	}
 }
 

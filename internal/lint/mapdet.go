@@ -21,7 +21,13 @@ import (
 //     the loop body;
 //  3. returning an error or value constructed from the iteration
 //     variables (which row names the "duplicate value" error then depends
-//     on map order).
+//     on map order);
+//  4. invoking a func-typed variable (a callback local, parameter, or
+//     struct field such as a shard-router hook) with the iteration
+//     variables as arguments — the callback observes map elements in
+//     random order, and unlike a named function the analyzer cannot see
+//     its body to judge order-sensitivity. Scatter-gather code must
+//     collect into a slice and sort before invoking the hook.
 //
 // Order-insensitive bodies — counters, min/max folds, writes into another
 // map — are not flagged. Genuinely order-free exceptions take
@@ -130,6 +136,9 @@ func checkMapBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
 			if name, emits := emitCall(pass.Info, x); emits {
 				pass.Reportf(x.Pos(),
 					"%s emits output directly from map iteration; order is random per run", name)
+			} else if name, isHook := funcValueCall(pass.Info, x); isHook && usesAny(pass.Info, x, loopVars) {
+				pass.Reportf(x.Pos(),
+					"callback %s invoked with map iteration variables; the callback observes elements in random order — collect and sort first", name)
 			}
 		case *ast.ReturnStmt:
 			for _, res := range x.Results {
@@ -219,6 +228,33 @@ func emitCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	// fmt.Print* and writer methods both emit; sb.WriteString on a local
 	// strings.Builder emits too — the builder's contents are output.
 	return exprString(sel), true
+}
+
+// funcValueCall reports whether the call's callee is a func-typed
+// variable — a local, a parameter, or a struct field holding a function
+// value — rather than a declared function or method. Declared functions
+// (*types.Func) have inspectable bodies and stay the other rules'
+// problem; a function VALUE is an opaque hook whose order-sensitivity
+// cannot be judged here.
+func funcValueCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj := info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if _, sig := v.Type().Underlying().(*types.Signature); !sig {
+		return "", false
+	}
+	return exprString(ast.Unparen(call.Fun)), true
 }
 
 func usesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {

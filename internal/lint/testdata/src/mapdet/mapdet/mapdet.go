@@ -86,3 +86,73 @@ func AllowedEmit(m map[string]int) {
 		fmt.Println(k)
 	}
 }
+
+// router stands in for a scatter-gather config: ShardOf is a func-typed
+// field, an opaque hook the analyzer cannot look inside.
+type router struct {
+	ShardOf func(key string) int
+}
+
+// BadCallbackParam feeds map elements to a func-typed parameter: the
+// callback observes them in random per-run order.
+func BadCallbackParam(m map[string]int, visit func(string, int)) {
+	for k, v := range m {
+		visit(k, v) // want "callback visit invoked with map iteration variables"
+	}
+}
+
+// BadCallbackField routes each pending key through a func-typed struct
+// field straight out of the range — the shard-router shape. The sort
+// afterwards satisfies the append rule but cannot repair the order the
+// hook already observed, so the callback rule still fires.
+func BadCallbackField(m map[string]bool, r *router) []int {
+	var shards []int
+	for k := range m {
+		shards = append(shards, r.ShardOf(k)) // want "callback r.ShardOf invoked with map iteration variables"
+	}
+	sortInts(shards)
+	return shards
+}
+
+// addToIndex is a declared function: its body is inspectable, so calling
+// it with loop variables is the other rules' concern, not the callback
+// rule's.
+func addToIndex(idx map[string]int, k string, v int) {
+	idx[k] = v
+}
+
+// GoodDeclaredFunc calls a named function with loop vars; writes into
+// another map are order-insensitive and nothing is flagged.
+func GoodDeclaredFunc(m map[string]int) map[string]int {
+	idx := make(map[string]int)
+	for k, v := range m {
+		addToIndex(idx, k, v)
+	}
+	return idx
+}
+
+// GoodCollectThenRoute is the sanctioned scatter-gather shape: collect
+// the keys, sort them, and only then hand each to the router hook —
+// merge order no longer depends on map iteration.
+func GoodCollectThenRoute(m map[string]bool, r *router) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	shards := make([]int, 0, len(keys))
+	for _, k := range keys {
+		shards = append(shards, r.ShardOf(k))
+	}
+	return shards
+}
+
+// GoodCallbackNoLoopVars invokes the hook with loop-independent
+// arguments; iteration order cannot leak through.
+func GoodCallbackNoLoopVars(m map[string]int, r *router) int {
+	n := 0
+	for range m {
+		n += r.ShardOf("fixed")
+	}
+	return n
+}

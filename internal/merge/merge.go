@@ -76,6 +76,17 @@ type Config struct {
 	DisableAggregates bool
 	// DisableRanges switches off the range family, likewise.
 	DisableRanges bool
+	// ShardOf, when set on a sharded deployment, maps a (table, column,
+	// value) match conjunct to its owning storage shard (ok=false:
+	// unroutable — not the partition column, or a NULL). Merge families
+	// then split per shard BEFORE rewriting, so an emitted `IN (...)` list
+	// never spans shards and every merged statement stays routable by the
+	// driver's occupancy mask. Splitting changes statement widths, so with
+	// merging enabled the virtual timeline is shard-count-DEPENDENT (page
+	// HTML never changes — demux is transparent); the golden timeline
+	// equality bar therefore applies to merge-off configurations, which is
+	// what every default and throughput path runs.
+	ShardOf func(table, col string, v sqldb.Value) (int, bool)
 }
 
 // width returns the effective IN-list cap.
@@ -226,6 +237,15 @@ func (m *Merger) Rewrite(stmts []driver.Stmt) *Plan {
 		if c == nil {
 			m.stats.Ineligible++
 			continue
+		}
+		// Shard prefix first: equality and aggregate candidates carry one
+		// match value, so their owning shard is known before rewrite and
+		// same-key candidates keep grouping together. Range windows span
+		// keys and stay unsplit (they fan out at execution regardless).
+		if m.cfg.ShardOf != nil && c.fam != FamilyRange {
+			if sh, ok := m.cfg.ShardOf(c.sel.From.Name, c.matchRef.Name, c.matchVal); ok {
+				c.fp = fmt.Sprintf("s%d\x1e%s", sh, c.fp)
+			}
 		}
 		c.fp = fmt.Sprintf("%d\x1e%s", barrier, c.fp)
 		cands[i] = c

@@ -116,6 +116,11 @@ type Stats struct {
 	// dispatch these are this store's pro-rated shares of the window-level
 	// savings.
 	MergeSavedByFamily [merge.NumFamilies]int64
+	// ShardFanout sums each collected batch's scatter width (storage
+	// shards occupied): ShardFanout/Batches is the session's mean fanout —
+	// 1.0 when every batch routed to a single shard, the shard count when
+	// everything scanned. Zero on unsharded servers' empty collections.
+	ShardFanout int64
 }
 
 // pending is one statement waiting in the current batch.
@@ -510,6 +515,7 @@ func (s *Store) collect() error {
 		s.stats.MergeSaved += int64(bs.Saved)
 		s.stats.MergeGroups += int64(bs.Groups)
 		s.stats.SharedHits += int64(bs.SharedHits)
+		s.stats.ShardFanout += int64(bs.Shards)
 		for f, n := range bs.SavedByFamily {
 			s.stats.MergeSavedByFamily[f] += int64(n)
 		}

@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/storage"
+)
+
+// Shard routing: compiled plans already know their access path (the
+// accessCand index candidates sourceRows tries in order), so they can
+// predict which shards an execution will touch before it runs. The driver
+// uses these masks to occupy only the owning shards' worker lanes; they
+// are advisory — execution always routes correctly through the storage
+// view regardless — so an approximate mask (0 = "all shards / unknown")
+// costs accuracy in the occupancy model, never correctness.
+//
+// A mask is a uint64 bitset over shard indexes (storage.MaxShards caps the
+// shard count at 64). Mask 0 means "touches every shard": scans, joins,
+// non-partition-column lookups, NULL-valued keys, and statements against
+// unsharded stores all report 0.
+
+// shardMaskOf folds lookup values for the table's partition column into a
+// mask. Returns 0 unless the candidate column IS the partition column.
+func shardMaskOf(t *storage.Table, ord int, vals []sqldb.Value) uint64 {
+	pOrd, n, ok := t.ShardBy()
+	if !ok || ord != pOrd {
+		return 0
+	}
+	var mask uint64
+	for _, v := range vals {
+		nv := sqldb.Normalize(v)
+		if nv == nil {
+			return 0 // NULL key: storage falls back to an all-shard scan
+		}
+		mask |= 1 << uint(storage.ShardOf(nv, n))
+	}
+	return mask
+}
+
+// Shards predicts the shard set this SELECT touches for the given args.
+// It mirrors sourceRows exactly: the first access candidate whose values
+// evaluate wins; joins fan out to every shard their side tables live on,
+// so any join reports 0 (all shards).
+func (p *SelectPlan) Shards(args []sqldb.Value) uint64 {
+	if len(p.joins) > 0 {
+		return 0
+	}
+	for i := range p.access {
+		vals, ok := p.access[i].values(args)
+		if !ok {
+			continue
+		}
+		return shardMaskOf(p.from, p.access[i].ord, vals)
+	}
+	return 0
+}
+
+// Shards predicts the shard set an UPDATE/DELETE row-match touches,
+// mirroring Match's candidate selection. The write itself lands on the
+// matched rows' shards (a superset only when the WHERE filter rejects
+// some), so the access mask is the honest estimate.
+func (a *TableAccess) Shards(args []sqldb.Value) uint64 {
+	for i := range a.access {
+		vals, ok := a.access[i].values(args)
+		if !ok {
+			continue
+		}
+		return shardMaskOf(a.t, a.access[i].ord, vals)
+	}
+	return 0
+}
+
+// Shards predicts the shard set an INSERT touches: the union of the shards
+// owning each row's partition-key value. Rows that omit the key, or whose
+// key expression errors or is NULL, spread by id — unpredictable here, so
+// the whole statement degrades to 0.
+func (p *InsertPlan) Shards(args []sqldb.Value) uint64 {
+	pOrd, n, ok := p.T.ShardBy()
+	if !ok {
+		return 0
+	}
+	keyPos := -1
+	for i, ord := range p.Ordinals {
+		if ord == pOrd {
+			keyPos = i
+			break
+		}
+	}
+	if keyPos < 0 {
+		return 0
+	}
+	var mask uint64
+	for _, fns := range p.RowFns {
+		if keyPos >= len(fns) {
+			return 0
+		}
+		v, err := fns[keyPos](nil, args)
+		if err != nil || v == nil {
+			return 0
+		}
+		cv, err := sqldb.Coerce(sqldb.Normalize(v), p.T.Columns[pOrd].Type)
+		if err != nil {
+			return 0
+		}
+		mask |= 1 << uint(storage.ShardOf(cv, n))
+	}
+	return mask
+}

@@ -183,6 +183,11 @@ type Snap struct {
 	m     *mvccState
 	epoch uint64
 	done  bool
+
+	// parts holds the per-shard snapshots of a sharded store's snapshot
+	// (see shard.go); m is nil in that case, epoch is the sum of the part
+	// epochs, and all visibility checks go through the parts.
+	parts []*Snap
 }
 
 // Epoch reports the committed epoch the snapshot pinned.
@@ -196,6 +201,12 @@ func (sn *Snap) Release() {
 		return
 	}
 	sn.done = true
+	if sn.parts != nil {
+		for _, p := range sn.parts {
+			p.Release()
+		}
+		return
+	}
 	m := sn.m
 	m.snapMu.Lock()
 	if n := m.snaps[sn.epoch]; n <= 1 {
@@ -298,11 +309,27 @@ func (t *Table) addGarbage(id RowID, to uint64) {
 
 // PendingGC reports how many deferred cleanup records await sweeping
 // (tests and metrics; call under the store lock or with no writer active).
-func (t *Table) PendingGC() int { return len(t.garbage) }
+func (t *Table) PendingGC() int {
+	if t.parts != nil {
+		n := 0
+		for _, p := range t.parts {
+			n += len(p.garbage)
+		}
+		return n
+	}
+	return len(t.garbage)
+}
 
 // Versions reports the length of id's version chain, 0 when the row has
 // been fully reclaimed (tests; same locking caveat as PendingGC).
 func (t *Table) Versions(id RowID) int {
+	if t.parts != nil {
+		n := 0
+		for _, p := range t.parts {
+			n += p.Versions(id)
+		}
+		return n
+	}
 	n := 0
 	for v := t.rows[id]; v != nil; v = v.prev {
 		n++

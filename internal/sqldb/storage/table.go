@@ -88,6 +88,15 @@ type Table struct {
 	// this table (AddIndex) so the store's schema epoch advances and cached
 	// query plans recompile.
 	schemaChanged func()
+
+	// Sharded-store routing view state (see shard.go). parts is nil for a
+	// plain table; when set, this table stores nothing itself — its heap
+	// maps stay empty bookkeeping — and every method routes to the per-shard
+	// part tables. partOrd is the partition column ordinal (-1: spread rows
+	// by id); coord is the owning coordinator store.
+	parts   []*Table
+	partOrd int
+	coord   *Store
 }
 
 // NewTable builds an empty table from column definitions.
@@ -136,7 +145,12 @@ func (t *Table) ColOrdinal(name string) (int, bool) {
 func (t *Table) PKOrdinal() int { return t.pkCol }
 
 // NumRows reports the number of live rows.
-func (t *Table) NumRows() int { return t.liveRows }
+func (t *Table) NumRows() int {
+	if t.parts != nil {
+		return t.shardNumRows()
+	}
+	return t.liveRows
+}
 
 // HasIndex reports whether column ordinal i is indexed.
 func (t *Table) HasIndex(i int) bool {
@@ -171,6 +185,9 @@ func (t *Table) indexedCols() []int {
 // every stored version (dead-but-unswept images included, so snapshots
 // older than the DDL still find their rows through it).
 func (t *Table) AddIndex(col string, unique bool) error {
+	if t.parts != nil {
+		return t.shardAddIndex(col, unique)
+	}
 	i, ok := t.ColOrdinal(col)
 	if !ok {
 		return fmt.Errorf("storage: table %q: no column %q", t.Name, col)
@@ -274,6 +291,9 @@ func (t *Table) uniqueConflict(ord int, v sqldb.Value, exclude RowID) bool {
 
 // Insert validates, coerces, and stores a row, returning its id.
 func (t *Table) Insert(vals Row) (RowID, error) {
+	if t.parts != nil {
+		return t.shardInsert(vals)
+	}
 	if len(vals) != len(t.Columns) {
 		return 0, fmt.Errorf("storage: table %q: got %d values, want %d", t.Name, len(vals), len(t.Columns))
 	}
@@ -335,6 +355,10 @@ func (t *Table) prepend(id RowID, row Row) {
 
 // insertAt restores a row under a specific id (transaction rollback path).
 func (t *Table) insertAt(id RowID, row Row) {
+	if t.parts != nil {
+		t.shardInsertAt(id, row)
+		return
+	}
 	t.mv.rw.Lock()
 	t.prepend(id, row)
 	if id >= t.nextID {
@@ -354,6 +378,9 @@ func (t *Table) restore(id RowID, old Row) {
 
 // Get returns a copy of the live row with the given id.
 func (t *Table) Get(id RowID) (Row, bool) {
+	if t.parts != nil {
+		return t.shardGet(id)
+	}
 	head := t.rows[id]
 	if head == nil || head.to != liveEpoch {
 		return nil, false
@@ -365,6 +392,9 @@ func (t *Table) Get(id RowID) (Row, bool) {
 // snap is nil). The returned slice is the immutable stored image: callers
 // must treat it as read-only.
 func (t *Table) RowAt(id RowID, snap *Snap) (Row, bool) {
+	if t.parts != nil {
+		return t.shardRowAt(id, snap)
+	}
 	head := t.rows[id]
 	if head == nil {
 		return nil, false
@@ -383,6 +413,9 @@ func (t *Table) RowAt(id RowID, snap *Snap) (Row, bool) {
 // Under MVCC the image is only superseded (to-stamped); the chain and its
 // postings are reclaimed by the sweep once no snapshot can see them.
 func (t *Table) Delete(id RowID) (Row, bool) {
+	if t.parts != nil {
+		return t.shardDelete(id)
+	}
 	head := t.rows[id]
 	if head == nil || head.to != liveEpoch {
 		return nil, false
@@ -399,6 +432,9 @@ func (t *Table) Delete(id RowID) (Row, bool) {
 
 // Update replaces the row contents, returning the previous contents.
 func (t *Table) Update(id RowID, vals Row) (Row, error) {
+	if t.parts != nil {
+		return t.shardUpdate(id, vals)
+	}
 	head := t.rows[id]
 	if head == nil || head.to != liveEpoch {
 		return nil, fmt.Errorf("storage: table %q: no row %d", t.Name, id)
@@ -432,6 +468,9 @@ func (t *Table) Update(id RowID, vals Row) (Row, error) {
 // ids whose live image actually holds v, so results — and scanned-row
 // counts derived from them — never depend on sweep timing.
 func (t *Table) Lookup(i int, v sqldb.Value) []RowID {
+	if t.parts != nil {
+		return t.shardLookup(i, v)
+	}
 	idx, ok := t.indexes[i]
 	if !ok {
 		return nil
@@ -455,6 +494,9 @@ func (t *Table) Lookup(i int, v sqldb.Value) []RowID {
 // ascending id order. Rows are passed without cloning: read-only. Stops on
 // the first error, returning it.
 func (t *Table) LookupEach(ord int, v sqldb.Value, snap *Snap, fn func(Row) error) error {
+	if t.parts != nil {
+		return t.shardLookupEach(ord, v, snap, fn)
+	}
 	idx, ok := t.indexes[ord]
 	if !ok {
 		return nil
@@ -506,6 +548,10 @@ func (t *Table) LookupEach(ord int, v sqldb.Value, snap *Snap, fn func(Row) erro
 // Scan calls fn for every live row in ascending id order. The row passed to
 // fn must not be mutated.
 func (t *Table) Scan(fn func(RowID, Row) bool) {
+	if t.parts != nil {
+		t.shardScan(fn)
+		return
+	}
 	ids := make([]RowID, 0, len(t.rows))
 	for id, head := range t.rows {
 		if head.to == liveEpoch {
@@ -524,6 +570,9 @@ func (t *Table) Scan(fn func(RowID, Row) bool) {
 // to snap (live rows when snap is nil), in ascending id order. Stops on
 // the first error, returning it.
 func (t *Table) ScanEach(snap *Snap, fn func(Row) error) error {
+	if t.parts != nil {
+		return t.shardScanEach(snap, fn)
+	}
 	type idRow struct {
 		id  RowID
 		row Row
@@ -567,6 +616,14 @@ type Store struct {
 	epoch atomic.Uint64
 
 	mv *mvccState
+
+	// shards is non-nil for a sharded coordinator store (see shard.go):
+	// every table registered here is a routing view over one part table per
+	// shard store. snapGate serializes cross-shard snapshot acquisition
+	// against cross-shard statement publication, making multi-shard
+	// statements atomically visible.
+	shards   []*Store
+	snapGate sync.Mutex
 }
 
 // NewStore creates an empty store.
@@ -583,21 +640,54 @@ func (s *Store) Lock() { s.mu.Lock() }
 func (s *Store) Unlock() { s.mu.Unlock() }
 
 // ReadLock acquires the structural lock in read mode — the snapshot
-// execution path. Pair with ReadUnlock around one statement.
-func (s *Store) ReadLock() { s.mv.rw.RLock() }
+// execution path. A sharded store locks the coordinator's then every
+// shard's, in fixed order. Pair with ReadUnlock around one statement.
+func (s *Store) ReadLock() {
+	s.mv.rw.RLock()
+	for _, sh := range s.shards {
+		sh.mv.rw.RLock()
+	}
+}
 
 // ReadUnlock releases the structural read lock.
-func (s *Store) ReadUnlock() { s.mv.rw.RUnlock() }
+func (s *Store) ReadUnlock() {
+	for _, sh := range s.shards {
+		sh.mv.rw.RUnlock()
+	}
+	s.mv.rw.RUnlock()
+}
 
-// Snapshot pins the current committed epoch for consistent reads. Release
-// it when done.
-func (s *Store) Snapshot() *Snap { return s.mv.acquire() }
+// Snapshot pins the current committed epoch for consistent reads — on a
+// sharded store, every shard's epoch at one gated instant. Release it when
+// done.
+func (s *Store) Snapshot() *Snap {
+	if s.shards != nil {
+		return s.snapshotAll()
+	}
+	return s.mv.acquire()
+}
 
-// CommittedEpoch reports the published MVCC epoch (safe without locks).
-func (s *Store) CommittedEpoch() uint64 { return s.mv.committed.Load() }
+// CommittedEpoch reports the published MVCC epoch (safe without locks). A
+// sharded store reports the sum of its shards' epochs — the same monotone
+// clock its snapshots carry.
+func (s *Store) CommittedEpoch() uint64 {
+	if s.shards != nil {
+		var sum uint64
+		for _, sh := range s.shards {
+			sum += sh.mv.committed.Load()
+		}
+		return sum
+	}
+	return s.mv.committed.Load()
+}
 
-// ActiveSnapshots reports how many snapshots are currently pinned.
+// ActiveSnapshots reports how many snapshots are currently pinned. A
+// cross-shard snapshot pins every shard once; report shard 0's count so
+// the number still means "snapshots out".
 func (s *Store) ActiveSnapshots() int {
+	if s.shards != nil {
+		return s.shards[0].ActiveSnapshots()
+	}
 	s.mv.snapMu.Lock()
 	defer s.mv.snapMu.Unlock()
 	n := 0
@@ -611,11 +701,21 @@ func (s *Store) ActiveSnapshots() int {
 // matching EndStmt carries one stamp and becomes visible atomically. The
 // caller holds the writer mutex. Scopes nest (a transaction rollback spans
 // many restores).
-func (s *Store) BeginStmt() { s.mv.depth++ }
+func (s *Store) BeginStmt() {
+	if s.shards != nil {
+		s.beginStmtAll()
+		return
+	}
+	s.mv.depth++
+}
 
 // EndStmt closes the scope, publishing the statement's mutations and
 // sweeping whatever garbage no snapshot still pins.
 func (s *Store) EndStmt() {
+	if s.shards != nil {
+		s.endStmtAll()
+		return
+	}
 	s.mv.depth--
 	if s.mv.depth == 0 {
 		s.mv.publish()
@@ -632,6 +732,9 @@ func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
 	key := strings.ToLower(name)
 	if _, exists := s.tables[key]; exists {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	if s.shards != nil {
+		return s.createSharded(key, name, cols)
 	}
 	t, err := NewTable(name, cols)
 	if err != nil {
