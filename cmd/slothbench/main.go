@@ -43,11 +43,13 @@ type options struct {
 	hostOut   string
 	traceOut  string
 	debugAddr string
+	faults    []float64
+	faultSeed uint64
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|hosttime|trace|all")
+	flag.StringVar(&o.exp, "exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|appendix|ablation|merge|throughput|hosttime|trace|faults|all")
 	flag.DurationVar(&o.rtt, "rtt", 500*time.Microsecond, "round-trip latency for suite experiments")
 	flag.IntVar(&o.txns, "txns", 500, "transactions per Fig. 13 workload")
 	flag.IntVar(&o.reps, "reps", 25, "repetitions per Fig. 12 configuration")
@@ -62,6 +64,8 @@ func main() {
 	flag.StringVar(&o.hostOut, "hostout", "BENCH_hosttime.json", "JSON artifact path for -exp hosttime (empty disables)")
 	flag.StringVar(&o.traceOut, "traceout", "BENCH_trace.json", "Chrome trace-event JSON path for -exp trace (empty disables; load in Perfetto or chrome://tracing)")
 	flag.StringVar(&o.debugAddr, "debugaddr", "", "serve net/http/pprof and expvar (unified metrics under /debug/vars key \"sloth\") on this address, e.g. localhost:6060 (empty disables)")
+	faultsFlag := flag.String("faults", "", "injected transient-failure rates for -exp faults, comma-separated (empty = sweep 0,0.05,0.1,0.2; include 0 for the clean baseline)")
+	flag.Uint64Var(&o.faultSeed, "faultseed", 1, "seed for the deterministic fault plane in -exp faults (same seed, same faults, same report)")
 	flag.Parse()
 
 	var ok bool
@@ -84,6 +88,11 @@ func main() {
 		os.Exit(1)
 	}
 	if o.shards, err = parseCounts(*shardsFlag, "-shards"); err != nil {
+		fmt.Fprintf(os.Stderr, "slothbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if o.faults, err = parseRates(*faultsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "slothbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -118,6 +127,23 @@ func parseCounts(s, flagName string) ([]int, error) {
 			return nil, fmt.Errorf("bad %s %q: want comma-separated positive counts", flagName, s)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseRates parses the comma-separated -faults rate list; empty means
+// "use the experiment's default sweep".
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r < 0 || r >= 1 {
+			return nil, fmt.Errorf("bad -faults %q: want comma-separated rates in [0,1)", s)
+		}
+		out = append(out, r)
 	}
 	return out, nil
 }
@@ -382,6 +408,20 @@ func run(o options) error {
 				return err
 			}
 			fmt.Print(rep.Format())
+			return nil
+		},
+		"faults": func() error {
+			for _, id := range []bench.AppID{bench.Itracker, bench.OpenMRS} {
+				rep, err := bench.FaultSweep(id, bench.FaultSweepOptions{
+					Rates: o.faults,
+					Seed:  o.faultSeed,
+					RTT:   rtt,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Print(rep.Format())
+			}
 			return nil
 		},
 	}

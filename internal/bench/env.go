@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/openmrs"
 	"repro/internal/dispatch"
 	"repro/internal/driver"
+	"repro/internal/faults"
 	"repro/internal/merge"
 	"repro/internal/netsim"
 	"repro/internal/orm"
@@ -112,6 +113,17 @@ func NewEnvSharded(id AppID, scale, shards int) (*Env, error) {
 // Pages lists the benchmark pages.
 func (e *Env) Pages() []string { return e.app.Pages() }
 
+// SetFaults installs a deterministic fault plane on the env's server and
+// returns it. Pass the zero Config to NewPlane for a no-op plane, or call
+// e.Srv.SetFaults(nil) to remove injection entirely. Loads issued after
+// this call see injected faults; pair it with StoreCfg.Retry so sessions
+// can recover.
+func (e *Env) SetFaults(cfg faults.Config) *faults.Plane {
+	p := faults.NewPlane(cfg)
+	e.Srv.SetFaults(p)
+	return p
+}
+
 // shardCfg completes a store config against this env: when the merge
 // optimizer runs over a sharded database it needs the engine's shard
 // router so merge families split per shard before any IN-list rewrite
@@ -133,6 +145,9 @@ func (e *Env) newHub(rtt time.Duration, cfg querystore.Config) *dispatch.Hub {
 		stages = append(stages, dispatch.MergeStage(merge.New(cfg.Merge)))
 	}
 	hub := dispatch.NewHub(conn, 0, stages...)
+	if cfg.Retry.MaxAttempts > 1 {
+		hub.SetRetry(cfg.Retry)
+	}
 	if cfg.Trace != nil {
 		hub.SetTracer(cfg.Trace, "hub")
 	}

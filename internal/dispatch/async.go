@@ -35,6 +35,7 @@ type Async struct {
 	clock netsim.Clock
 
 	stages []Stage
+	retry  RetryPolicy
 	box    statsBox
 
 	// Ticket queue, guarded by mu; nonEmpty signals the worker. depth is
@@ -108,17 +109,19 @@ func (a *Async) worker() {
 			return
 		}
 		out, demux, ss := applyStagesTraced(t.ctx, t.arrival, a.stages, t.stmts)
-		results, done, shards, err := a.conn.ExecBatchFanout(t.ctx, t.arrival, out)
-		if err == nil && demux != nil {
-			results, err = demux(results)
-		}
-		t.results, t.err = results, err
-		t.completeAt = done
-		t.bs = batchStats(len(out), ss, shards)
-		a.box.addExec(len(out), ss, err)
+		r := execRecover(a.conn, t.ctx, t.arrival, out, demux, t.stmts, a.retry)
+		t.results, t.err, t.stmtErrs = r.results, r.err, r.stmtErrs
+		t.completeAt = r.done
+		t.bs = batchStats(len(out), ss, r.shards)
+		a.box.addExec(len(out), ss, r.err)
+		a.box.addRecovery(r)
 		close(t.done)
 	}
 }
+
+// SetRetry installs the recovery policy (retry/degradation) for this
+// dispatcher's batches. Call before submitting.
+func (a *Async) SetRetry(p RetryPolicy) { a.retry = p }
 
 // Submit enqueues the batch and returns immediately; it never blocks on
 // queue capacity. Submitting after Close is a caller bug and panics (as
@@ -155,6 +158,10 @@ func (a *Async) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 func (a *Async) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
 	<-t.done
 	if t.err != nil {
+		// Terminal failure still advances the session to the time the
+		// failure was observed (no overlap credit): a frozen clock would
+		// replay the identical time-keyed fault rolls on the next batch.
+		netsim.AdvanceTo(a.clock, t.completeAt)
 		return nil, t.bs, t.err
 	}
 	cost := t.completeAt - t.arrival

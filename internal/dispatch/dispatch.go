@@ -116,8 +116,11 @@ type Ticket struct {
 	done chan struct{} // closed when results/err/completeAt are final
 
 	// Owned by the executing goroutine until done is closed.
-	results    []*sqldb.ResultSet
-	err        error
+	results []*sqldb.ResultSet
+	err     error
+	// stmtErrs holds per-original-statement errors when the batch fell
+	// back to degraded per-statement execution (StmtErrs); nil otherwise.
+	stmtErrs   []error
 	bs         BatchStats
 	completeAt time.Duration // absolute virtual completion time
 }
@@ -158,8 +161,17 @@ type Stats struct {
 	// so the error path and the success path account identically; Errors
 	// records the failures.
 	StmtsOut int64
-	// Errors counts batch executions that failed.
+	// Errors counts batch executions that failed TERMINALLY: retried
+	// attempts that eventually succeeded land in Retries instead, so under
+	// injected faults the error accounting stays deterministic and a
+	// recovered batch is not misreported as a failure.
 	Errors int64
+	// Retries counts re-attempted batch executions under a RetryPolicy
+	// (each backed-off attempt after the first, across all batches).
+	Retries int64
+	// Degraded counts batches that fell back to per-statement execution
+	// after exhausting batch-level recovery.
+	Degraded int64
 	// OverlapSaved is virtual time that batch execution spent overlapped
 	// with app-server compute: the portion of completion time a session
 	// did not have to wait for (async and shared only).

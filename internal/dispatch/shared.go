@@ -43,6 +43,9 @@ type Hub struct {
 	conn   *driver.Conn
 	stages []Stage
 	cap    int
+	// retry is the recovery policy for window executions (SetRetry); the
+	// zero value disables recovery. Read under box.mu by window closes.
+	retry RetryPolicy
 
 	// expected is the session quorum (SetWindow): with expected > 0, each
 	// session's j-th read batch since the last drain joins window
@@ -107,6 +110,15 @@ func (h *Hub) SetTracer(tr *obs.Tracer, track string) {
 	defer h.box.mu.Unlock()
 	h.tr = tr
 	h.track = track
+}
+
+// SetRetry installs the recovery policy for window executions; Shared
+// front ends created from this hub after the call inherit it for their
+// write-barrier batches. Call before sessions start submitting.
+func (h *Hub) SetRetry(p RetryPolicy) {
+	h.box.mu.Lock()
+	defer h.box.mu.Unlock()
+	h.retry = p
 }
 
 // SetWindow configures the virtual-time accumulation policy: with
@@ -311,22 +323,25 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 	}
 
 	out, demux, ss := applyStagesTraced(wctx, arrival, h.stages, combined)
-	results, done, shards, err := h.conn.ExecBatchFanout(wctx, arrival, out)
-	if err == nil && demux != nil {
-		results, err = demux(results)
-	}
-	wctx.End(done)
+	r := execRecover(h.conn, wctx, arrival, out, demux, combined, h.retry)
+	wctx.End(r.done)
 
 	// Window-level accounting: attempts (Windows, Coalesced, StmtsOut) and
 	// errors count explicitly, so a failed window is visible rather than
 	// silently under-reported, and the merge stage's window-level savings
-	// land on the hub instead of vanishing.
+	// land on the hub instead of vanishing. Retried attempts that recovered
+	// count in Retries, NOT Errors — only a terminal failure is an error, so
+	// the hub's stats stay deterministic under injected faults.
 	h.box.stats.Windows++
 	h.box.stats.Coalesced += int64(totalIn - len(combined))
 	h.box.stats.StmtsOut += int64(len(out))
 	h.box.stats.MergeSaved += int64(ss.Saved)
 	h.box.stats.MergeGroups += int64(ss.Groups)
-	if err != nil {
+	h.box.stats.Retries += r.retries
+	if r.degraded {
+		h.box.stats.Degraded++
+	}
+	if r.err != nil {
 		h.box.stats.Errors++
 	}
 
@@ -343,7 +358,7 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 
 	for k, e := range entries {
 		t := e.t
-		t.completeAt = done
+		t.completeAt = r.done
 		// The entry span lives in the session's own page tree (under its
 		// flush context): this batch rode a shared window from its submit
 		// to the window's completion, coalescing hits statements.
@@ -351,7 +366,7 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 			t.ctx.Child("window", "entry", t.arrival,
 				obs.Arg{K: "gen", V: gen},
 				obs.Arg{K: "intro", V: e.intro},
-				obs.Arg{K: "hits", V: len(t.stmts) - e.intro}).End(done)
+				obs.Arg{K: "hits", V: len(t.stmts) - e.intro}).End(r.done)
 		}
 		t.bs = BatchStats{
 			Sent:          e.intro,
@@ -359,16 +374,27 @@ func (h *Hub) closeWindowLocked(w *window, gen int) {
 			Saved:         savedShares[k],
 			Groups:        groupShares[k],
 			SavedByFamily: famShares[k],
-			Shards:        shards,
+			Shards:        r.shards,
 		}
-		if err != nil {
-			t.err = err
+		if r.err != nil {
+			t.err = r.err
 		} else {
+			// Route the window's per-combined-statement results (and, for a
+			// degraded window, failures) back onto this entry's statements: a
+			// poisoned key fails exactly the sessions that asked for it.
 			rs := make([]*sqldb.ResultSet, len(e.routes))
+			var se []error
 			for i, idx := range e.routes {
-				rs[i] = results[idx]
+				rs[i] = r.results[idx]
+				if r.stmtErrs != nil && r.stmtErrs[idx] != nil {
+					if se == nil {
+						se = make([]error, len(e.routes))
+					}
+					se[i] = r.stmtErrs[idx]
+				}
 			}
 			t.results = rs
+			t.stmtErrs = se
 		}
 		close(t.done)
 	}
@@ -446,6 +472,7 @@ type Shared struct {
 	conn   *driver.Conn
 	clock  netsim.Clock
 	stages []Stage
+	retry  RetryPolicy
 	box    statsBox
 	id     int
 
@@ -460,8 +487,15 @@ type Shared struct {
 func NewShared(hub *Hub, conn *driver.Conn, stages ...Stage) *Shared {
 	s := &Shared{hub: hub, conn: conn, clock: conn.Clock(), stages: stages}
 	s.id = hub.register(s)
+	s.hub.box.mu.Lock()
+	s.retry = hub.retry
+	s.hub.box.mu.Unlock()
 	return s
 }
+
+// SetRetry installs the recovery policy for this session's write-barrier
+// batches (window batches use the hub's policy). Call before submitting.
+func (s *Shared) SetRetry(p RetryPolicy) { s.retry = p }
 
 // Hub returns the shared accumulation window this front end feeds.
 func (s *Shared) Hub() *Hub { return s.hub }
@@ -498,14 +532,16 @@ func (s *Shared) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 		}
 	}
 	out, demux, ss := applyStagesTraced(ctx, t.arrival, s.stages, stmts)
-	results, done, shards, err := s.conn.ExecBatchFanout(ctx, t.arrival, out)
-	if err == nil && demux != nil {
-		results, err = demux(results)
-	}
-	t.results, t.err = results, err
-	t.completeAt = done
-	t.bs = batchStats(len(out), ss, shards)
-	s.box.addExec(len(out), ss, err)
+	// The write has not published yet (its ticket completes below), so the
+	// recovery loop may retry it freely: injected failures fire before
+	// execution, and a real execution error is permanent — it surfaces
+	// exactly once, here.
+	r := execRecover(s.conn, ctx, t.arrival, out, demux, stmts, s.retry)
+	t.results, t.err, t.stmtErrs = r.results, r.err, r.stmtErrs
+	t.completeAt = r.done
+	t.bs = batchStats(len(out), ss, r.shards)
+	s.box.addExec(len(out), ss, r.err)
+	s.box.addRecovery(r)
 	close(t.done)
 	return t
 }
@@ -520,6 +556,10 @@ func (s *Shared) Wait(t *Ticket) ([]*sqldb.ResultSet, BatchStats, error) {
 		s.hub.waitForTicket(t)
 	}
 	if t.err != nil {
+		// Terminal failure still advances the session to the time the
+		// failure was observed (no overlap credit): a frozen clock would
+		// replay the identical time-keyed fault rolls on the next batch.
+		netsim.AdvanceTo(s.clock, t.completeAt)
 		return nil, t.bs, t.err
 	}
 	cost := maxDuration(0, t.completeAt-t.arrival)

@@ -14,8 +14,13 @@ import (
 type Sync struct {
 	conn   *driver.Conn
 	stages []Stage
+	retry  RetryPolicy
 	box    statsBox
 }
+
+// SetRetry installs the recovery policy (retry/degradation) for this
+// dispatcher's batches. Call before submitting.
+func (s *Sync) SetRetry(p RetryPolicy) { s.retry = p }
 
 // NewSync creates the synchronous dispatcher.
 func NewSync(conn *driver.Conn, stages ...Stage) *Sync {
@@ -37,16 +42,17 @@ func (s *Sync) SubmitCtx(ctx obs.Ctx, stmts []driver.Stmt) *Ticket {
 	clock := s.conn.Clock()
 	now := clock.Now()
 	out, demux, ss := applyStagesTraced(ctx, now, s.stages, stmts)
-	results, done, shards, err := s.conn.ExecBatchFanout(ctx, now, out)
-	if err == nil {
-		netsim.AdvanceTo(clock, done)
-		if demux != nil {
-			results, err = demux(results)
-		}
-	}
-	t.results, t.err = results, err
-	t.bs = batchStats(len(out), ss, shards)
-	s.box.addExec(len(out), ss, err)
+	r := execRecover(s.conn, ctx, now, out, demux, stmts, s.retry)
+	// The session pays the virtual time it observed — on terminal failure
+	// too, where r.done is the last failure-observation time (0 for real
+	// engine errors, making this a no-op). A frozen clock after a failure
+	// would replay the identical time-keyed fault rolls (and re-arrive
+	// inside the same breaker-open window) forever.
+	netsim.AdvanceTo(clock, r.done)
+	t.results, t.err, t.stmtErrs = r.results, r.err, r.stmtErrs
+	t.bs = batchStats(len(out), ss, r.shards)
+	s.box.addExec(len(out), ss, r.err)
+	s.box.addRecovery(r)
 	return t
 }
 

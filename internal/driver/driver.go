@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/sqldb"
@@ -133,6 +134,13 @@ type ServerStats struct {
 	// SnapBatches counts batches that took the parallel snapshot-read path
 	// (read-only, outside transactions) rather than the serialized path.
 	SnapBatches int64
+	// BreakerTrips/BreakerFastFails/BreakerProbes count the per-shard
+	// circuit breaker's transitions (breaker.go): trips into the open
+	// state, batches rejected locally while open, and half-open probes let
+	// through. All zero unless a fault plane with a breaker is installed.
+	BreakerTrips     int64
+	BreakerFastFails int64
+	BreakerProbes    int64
 	// RetiredBatches/RetiredBusy/RetiredWall accumulate per-worker
 	// attribution folded in by SetWorkers when the pool is resized mid-run,
 	// so resizing never silently under-counts totals: total batches placed
@@ -158,6 +166,19 @@ type Server struct {
 	clock netsim.Clock
 	cost  CostModel
 
+	// faults is the installed deterministic fault plane (SetFaults); nil —
+	// the default — means infallible execution and a zero-cost exec path.
+	// Set between replays only: the exec path reads it without locking.
+	faults *faults.Plane
+	// brk is the per-shard circuit breaker state (nil when the plane's
+	// breaker is disabled) and brkCfg its thresholds; see breaker.go.
+	// Guarded by mu.
+	brk    []breaker
+	brkCfg faults.Breaker
+	// links tracks every connected link so SetFaults can (un)install the
+	// link failure hook retroactively. Guarded by mu.
+	links []*netsim.Link
+
 	mu    sync.Mutex
 	stats ServerStats
 	// met holds the optional live-metrics instruments (SetMetrics): the
@@ -176,6 +197,12 @@ type Server struct {
 		// the virtual busy time charged there.
 		shardBatches []*obs.Counter
 		shardBusyNS  []*obs.Counter
+		// breaker transition counters ("db.breaker.*"), live shadows of the
+		// Breaker* fields in ServerStats. obs counters are nil-safe, so they
+		// cost nothing unmetered.
+		breakerTrips     *obs.Counter
+		breakerFastFails *obs.Counter
+		breakerProbes    *obs.Counter
 	}
 	// lanes holds the busy timeline of each DB worker queue — the
 	// multi-queue occupancy model for concurrent sessions (the paper's
@@ -303,8 +330,12 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		s.met.batches, s.met.stmts, s.met.rows, s.met.timeNS, s.met.wallNS, s.met.queueWait = nil, nil, nil, nil, nil, nil
 		s.met.shardBatches, s.met.shardBusyNS = nil, nil
+		s.met.breakerTrips, s.met.breakerFastFails, s.met.breakerProbes = nil, nil, nil
 		return
 	}
+	s.met.breakerTrips = reg.Counter("db.breaker.trips")
+	s.met.breakerFastFails = reg.Counter("db.breaker.fast_fails")
+	s.met.breakerProbes = reg.Counter("db.breaker.probes")
 	s.met.batches = reg.Counter("db.batches")
 	s.met.stmts = reg.Counter("db.stmts")
 	s.met.rows = reg.Counter("db.rows")
@@ -712,8 +743,15 @@ type Conn struct {
 	traceCtx obs.Ctx
 }
 
-// Connect opens a connection to the server across link.
+// Connect opens a connection to the server across link. The link inherits
+// the server's fault plane (if one is installed) as its failure hook.
 func (s *Server) Connect(link *netsim.Link) *Conn {
+	s.mu.Lock()
+	s.links = append(s.links, link)
+	if s.faults != nil {
+		link.SetFault(s.faults)
+	}
+	s.mu.Unlock()
 	return &Conn{srv: s, link: link, sess: s.db.NewSession(), clock: link.Clock()}
 }
 
@@ -791,6 +829,19 @@ func (c *Conn) ExecBatchFanout(ctx obs.Ctx, arrival time.Duration, stmts []Stmt)
 		}
 	}
 	traced := ctx.Enabled()
+	// The shard mask is computed before execution (routing depends only on
+	// statement keys, never on data effects of this batch) so the fault
+	// plane can roll per touched shard; it prices occupancy below exactly
+	// as the post-exec computation did.
+	mask := c.srv.shardMask(stmts)
+	if c.srv.faults != nil {
+		if failAt, ferr := c.srv.preExecFault(c.link, arrival, reqBytes, mask, stmts); ferr != nil {
+			if traced {
+				ctx.Instant("fault", "exec", arrival, obs.Arg{K: "err", V: ferr.Error()})
+			}
+			return nil, failAt, 0, ferr
+		}
+	}
 	var (
 		results []*sqldb.ResultSet
 		dbCost  time.Duration
@@ -812,12 +863,17 @@ func (c *Conn) ExecBatchFanout(ctx obs.Ctx, arrival time.Duration, stmts []Stmt)
 		}
 		return nil, arrival, 0, err
 	}
+	if c.srv.faults != nil {
+		// Slow-shard spikes stretch the batch's server time (and the
+		// occupancy it leaves behind); content is untouched.
+		dbCost += c.srv.shardDelay(mask, arrival)
+	}
 	respBytes := 0
 	for _, rs := range results {
 		respBytes += rs.WireSize()
 	}
 	netCost := c.link.Charge(reqBytes, respBytes)
-	start, share, lanes := c.srv.occupy(arrival, dbCost, c.srv.shardMask(stmts))
+	start, share, lanes := c.srv.occupy(arrival, dbCost, mask)
 	c.queriesSent.Add(int64(len(stmts)))
 	done := start + dbCost + netCost
 	if traced {

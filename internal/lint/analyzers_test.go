@@ -31,3 +31,7 @@ func TestMapdet(t *testing.T) {
 func TestAtomicfield(t *testing.T) {
 	linttest.Run(t, fixture("atomicfield"), lint.AtomicfieldAnalyzer)
 }
+
+func TestFaultrand(t *testing.T) {
+	linttest.Run(t, fixture("faultrand"), lint.FaultrandAnalyzer)
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// faultrand: every random decision in the reproduction must be replayable
+// from a recorded seed — the fault plane (internal/faults) keys all of its
+// draws by (seed, site, virtual time), and the workload generators carry
+// explicit rand.New(rand.NewSource(seed)) sources. The math/rand package-
+// level convenience functions (rand.Intn, rand.Float64, rand.Shuffle, ...)
+// draw from the process-global source, whose sequence depends on what else
+// ran first — hidden nondeterminism that would silently break same-seed
+// reproducibility of goldens, fault schedules, and reports. crypto/rand is
+// nondeterministic by design and never acceptable in simulated code. Both
+// are banned in test-free shipped code everywhere outside internal/faults;
+// constructing an explicitly seeded source (and naming the types) stays
+// legal.
+
+// faultrandSeeded is the allowed surface of math/rand and math/rand/v2:
+// explicitly seeded constructors and the type names needed to hold them.
+var faultrandSeeded = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+// FaultrandAnalyzer forbids unseeded randomness outside the fault plane.
+var FaultrandAnalyzer = &Analyzer{
+	Name: "faultrand",
+	Doc:  "forbid the global math/rand source and crypto/rand outside internal/faults; randomness must flow from an explicit seed",
+	Run:  runFaultrand,
+}
+
+func runFaultrand(pass *Pass) error {
+	// The fault plane is the sanctioned home of randomness: its draws are
+	// keyed by (seed, site, virtual time) by construction.
+	if hasPathSuffix(pass.Path, "faults") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgIdent(pass.Info, sel.X, "math/rand"), isPkgIdent(pass.Info, sel.X, "math/rand/v2"):
+				if faultrandSeeded[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed)) — or the fault plane's keyed PRNG — so the draw replays from a seed",
+					sel.Sel.Name)
+			case isPkgIdent(pass.Info, sel.X, "crypto/rand"):
+				pass.Reportf(sel.Pos(),
+					"crypto/rand.%s is nondeterministic by design; simulated code must draw from an explicit seed",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

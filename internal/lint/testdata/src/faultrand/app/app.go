@@ -1,0 +1,60 @@
+// Package app is a faultrand fixture: shipped simulation code where every
+// random draw must flow from an explicit seed.
+package app
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+// Bad draws from the process-global source.
+func Bad() int {
+	return rand.Intn(10) // want "rand.Intn draws from the unseeded global source"
+}
+
+// BadFloat is the same bug through another convenience function.
+func BadFloat() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the unseeded global source"
+}
+
+// BadShuffle mutates order from the global source; references are banned,
+// not just calls.
+var BadShuffle = rand.Shuffle // want "rand.Shuffle draws from the unseeded global source"
+
+// BadSeed reseeds the global source — still global, still banned.
+func BadSeed() {
+	rand.Seed(1) // want "rand.Seed draws from the unseeded global source"
+}
+
+// BadCrypto reads the OS entropy pool.
+func BadCrypto(p []byte) {
+	crand.Read(p) // want "crypto/rand.Read is nondeterministic by design"
+}
+
+// Good carries an explicitly seeded source: constructors and type names
+// are the allowed surface, and draws through the instance are methods on
+// *rand.Rand, not package selectors.
+type Good struct {
+	rng *rand.Rand
+}
+
+// NewGood seeds the generator; no findings here.
+func NewGood(seed int64) *Good {
+	return &Good{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Draw uses the seeded instance; method calls are fine.
+func (g *Good) Draw() int {
+	return g.rng.Intn(10)
+}
+
+// Zipfian builds the seeded Zipf helper; still constructor surface.
+func Zipfian(seed int64) *rand.Zipf {
+	return rand.NewZipf(rand.New(rand.NewSource(seed)), 1.1, 1, 100)
+}
+
+// Allowed is a sanctioned exception with a recorded reason.
+func Allowed() int {
+	//slothvet:allow faultrand(fixture: jitter outside any measured path)
+	return rand.Intn(10)
+}

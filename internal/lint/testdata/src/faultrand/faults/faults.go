@@ -1,0 +1,12 @@
+// Package faults is a faultrand fixture standing in for the real fault
+// plane: the one package where randomness is at home, because every draw
+// is keyed by (seed, site, virtual time). The analyzer exempts it
+// entirely — no findings in this file.
+package faults
+
+import "math/rand"
+
+// Roll may use any source it likes; the package owns randomness.
+func Roll() float64 {
+	return rand.Float64()
+}

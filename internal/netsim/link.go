@@ -18,11 +18,22 @@ type Link struct {
 	clock   Clock
 	rtt     time.Duration
 	perByte time.Duration
+	fault   LinkFault
 
 	roundTrips int64
 	bytesSent  int64
 	bytesRecv  int64
+	timeouts   int64
 	netTime    time.Duration
+}
+
+// LinkFault is the optional failure hook of a link (SetFault): consulted
+// once per round trip with the trip's virtual start time. A non-nil error
+// makes the trip fail after `delay` of virtual time instead of completing
+// — the deterministic fault plane (internal/faults) implements it with
+// seeded, time-keyed timeout rolls.
+type LinkFault interface {
+	LinkFault(at time.Duration) (delay time.Duration, err error)
 }
 
 // LinkStats is a snapshot of a link's accounting counters.
@@ -30,7 +41,10 @@ type LinkStats struct {
 	RoundTrips int64
 	BytesSent  int64
 	BytesRecv  int64
-	// NetTime is the total virtual time spent traversing the link.
+	// Timeouts counts round trips that failed at the link (TripFault).
+	Timeouts int64
+	// NetTime is the total virtual time spent traversing the link,
+	// including the time wasted by timed-out trips.
 	NetTime time.Duration
 }
 
@@ -72,6 +86,37 @@ func (l *Link) Clock() Clock {
 	return l.clock
 }
 
+// SetFault installs (or clears, with nil) the link's failure hook.
+func (l *Link) SetFault(f LinkFault) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fault = f
+}
+
+// TripFault consults the failure hook for a round trip starting at the
+// given virtual time. On a fault it charges the wasted delay to the
+// link's net-time accounting, bumps the timeout counter, and returns the
+// delay plus the injected error; the caller decides whether to advance
+// its timeline and whether to retry. With no hook (or no fault) it
+// returns (0, nil).
+func (l *Link) TripFault(at time.Duration) (time.Duration, error) {
+	l.mu.Lock()
+	fault := l.fault
+	l.mu.Unlock()
+	if fault == nil {
+		return 0, nil
+	}
+	delay, err := fault.LinkFault(at)
+	if err == nil {
+		return 0, nil
+	}
+	l.mu.Lock()
+	l.timeouts++
+	l.netTime += delay
+	l.mu.Unlock()
+	return delay, err
+}
+
 // Charge records one round trip's counters and returns its cost WITHOUT
 // advancing the clock. Deferred dispatch strategies (async and shared
 // batching) use it so the time of an in-flight round trip is paid on the
@@ -107,6 +152,7 @@ func (l *Link) Stats() LinkStats {
 		RoundTrips: l.roundTrips,
 		BytesSent:  l.bytesSent,
 		BytesRecv:  l.bytesRecv,
+		Timeouts:   l.timeouts,
 		NetTime:    l.netTime,
 	}
 }
@@ -119,6 +165,7 @@ func (l *Link) ResetStats() {
 	l.roundTrips = 0
 	l.bytesSent = 0
 	l.bytesRecv = 0
+	l.timeouts = 0
 	l.netTime = 0
 }
 

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -144,5 +145,49 @@ func TestRealClockAdvances(t *testing.T) {
 	after := c.Now()
 	if after-before < 2*time.Millisecond {
 		t.Fatalf("RealClock advanced %v, want >= 2ms", after-before)
+	}
+}
+
+// faultEvery fails every trip whose start time is an exact multiple of its
+// period, charging a fixed delay — a minimal LinkFault for hook testing.
+type faultEvery struct {
+	period time.Duration
+	delay  time.Duration
+	err    error
+}
+
+func (f faultEvery) LinkFault(at time.Duration) (time.Duration, error) {
+	if f.period > 0 && at%f.period == 0 {
+		return f.delay, f.err
+	}
+	return 0, nil
+}
+
+func TestLinkTripFault(t *testing.T) {
+	c := NewVirtualClock()
+	l := NewLink(c, time.Millisecond)
+	if d, err := l.TripFault(0); d != 0 || err != nil {
+		t.Fatalf("no hook: d=%v err=%v", d, err)
+	}
+	sentinel := fmt.Errorf("injected timeout")
+	l.SetFault(faultEvery{period: 2 * time.Millisecond, delay: 3 * time.Millisecond, err: sentinel})
+	if d, err := l.TripFault(time.Millisecond); d != 0 || err != nil {
+		t.Fatalf("clean trip: d=%v err=%v", d, err)
+	}
+	d, err := l.TripFault(2 * time.Millisecond)
+	if d != 3*time.Millisecond || err != sentinel {
+		t.Fatalf("faulted trip: d=%v err=%v", d, err)
+	}
+	s := l.Stats()
+	if s.Timeouts != 1 || s.NetTime != 3*time.Millisecond {
+		t.Fatalf("stats after fault: %+v", s)
+	}
+	l.ResetStats()
+	if s := l.Stats(); s.Timeouts != 0 || s.NetTime != 0 {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	l.SetFault(nil)
+	if d, err := l.TripFault(2 * time.Millisecond); d != 0 || err != nil {
+		t.Fatalf("hook cleared: d=%v err=%v", d, err)
 	}
 }

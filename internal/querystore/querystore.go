@@ -48,6 +48,12 @@ import (
 // QueryID identifies a registered query within its store.
 type QueryID int64
 
+// ErrUnknownQueryID is the typed sentinel behind "unknown query id"
+// failures (a force of an id the store never issued or whose batch was
+// discarded). Match with errors.Is — the rendered message keeps the
+// historical "querystore: unknown query id <n>" spelling.
+var ErrUnknownQueryID = errors.New("querystore: unknown query id")
+
 // Config adjusts store behaviour. The zero value is the paper's
 // configuration; the knobs exist for the ablation benchmarks.
 type Config struct {
@@ -66,6 +72,13 @@ type Config struct {
 	// Dispatch selects the execution strategy for flushed batches. The
 	// zero value (dispatch.KindSync) is the paper's blocking flush.
 	Dispatch dispatch.Kind
+	// Retry is the recovery policy installed on the store's dispatcher
+	// (capped-backoff retry of injected transient failures plus degraded
+	// per-statement execution; see dispatch.RetryPolicy). The zero value —
+	// no recovery — leaves behaviour identical to a fault-free build. For
+	// shared dispatch this configures the session front end's write path;
+	// install the window policy on the Hub itself (Hub.SetRetry).
+	Retry dispatch.RetryPolicy
 	// Hub is the shared cross-session accumulation window, required when
 	// Dispatch is dispatch.KindShared and ignored otherwise.
 	Hub *dispatch.Hub
@@ -191,6 +204,11 @@ func New(conn *driver.Conn, cfg Config) *Store {
 		s.disp = dispatch.NewShared(cfg.Hub, conn, stages...)
 	default:
 		s.disp = dispatch.NewSync(conn, stages...)
+	}
+	if cfg.Retry.MaxAttempts > 1 {
+		if rd, ok := s.disp.(interface{ SetRetry(dispatch.RetryPolicy) }); ok {
+			rd.SetRetry(cfg.Retry)
+		}
 	}
 	return s
 }
@@ -374,7 +392,7 @@ func (s *Store) ResultSet(id QueryID) (*sqldb.ResultSet, error) {
 		s.dropWriteErr(ferr)
 		return nil, ferr
 	}
-	return nil, fmt.Errorf("querystore: unknown query id %d", id)
+	return nil, fmt.Errorf("%w %d", ErrUnknownQueryID, id)
 }
 
 // Flush sends every pending statement to the database in one round trip,
@@ -505,11 +523,33 @@ func (s *Store) collect() error {
 			}
 			continue
 		}
+		// A degraded batch (one that fell back to per-statement execution
+		// after an injected failure) succeeds as a whole but may carry
+		// per-statement errors: each failed id records its OWN error for
+		// force-time delivery, while the sibling ids keep their results — a
+		// poisoned key no longer fails every query merged with it. A failed
+		// fire-and-forget write still latches for the next barrier, exactly
+		// once.
+		stmtErrs := f.t.StmtErrs()
+		var ffErrs []error
 		for i, id := range f.ids {
+			if stmtErrs != nil && stmtErrs[i] != nil {
+				if _, dup := s.errs[id]; !dup {
+					s.errs[id] = stmtErrs[i]
+				}
+				if _, ff := s.fireAndForget[id]; ff {
+					delete(s.fireAndForget, id)
+					ffErrs = append(ffErrs, stmtErrs[i])
+				}
+				continue
+			}
 			s.cache[id] = results[i]
 			if len(s.fireAndForget) > 0 {
 				delete(s.fireAndForget, id)
 			}
+		}
+		if len(ffErrs) > 0 {
+			s.writeErrs = append(s.writeErrs, errors.Join(ffErrs...))
 		}
 		s.stats.Executed += int64(bs.Sent)
 		s.stats.MergeSaved += int64(bs.Saved)
